@@ -1,0 +1,156 @@
+//! FastDecode+ — full CPU offloading of decode attention.
+//!
+//! The paper re-implements FastDecode on top of NEO's runtime ("FastDecode+"): it keeps the
+//! asymmetric pipelining machinery but offloads **all** requests' decoding attention and KV
+//! cache to the host CPU, with no partial offload and no GPU-only fallback. When outputs
+//! grow long the CPU becomes the bottleneck and throughput drops below the GPU-only
+//! baseline (Figure 8b); when the prefill waitqueue is empty it has no choice but to run
+//! CPU-bound batches, hurting latency (Figure 8a).
+
+use neo_core::batch::{PrefillItem, ScheduleDecision, SubBatch};
+use neo_core::scheduler::{ScheduleContext, Scheduler};
+use neo_core::ExecutionMode;
+use neo_kvcache::Device;
+
+/// The FastDecode+ scheduler: every decode request is a CPU-request.
+#[derive(Debug, Clone, Default)]
+pub struct FastDecodePlusScheduler;
+
+impl FastDecodePlusScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for FastDecodePlusScheduler {
+    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
+        let cfg = ctx.config;
+        let mut batch0 = SubBatch::new();
+        let mut batch1 = SubBatch::new();
+        let mut swap_out = Vec::new();
+        let mut cpu_free = ctx.cpu_free_tokens as i64;
+
+        // Any request that somehow lives on the GPU is evicted: FastDecode keeps all KV on
+        // the host.
+        for &id in ctx.gpu_run {
+            let c = ctx.context_len(id);
+            if cpu_free >= (c + 1) as i64 {
+                swap_out.push(id);
+                cpu_free -= (c + 1) as i64;
+                batch1.cpu_decodes.push((id, c));
+            }
+        }
+
+        // All CPU-resident requests decode every iteration (no balancing, no fallback).
+        for &id in ctx.cpu_run {
+            if batch1.sequences() >= cfg.max_batch_seqs {
+                break;
+            }
+            if cpu_free <= 0 {
+                break;
+            }
+            batch1.cpu_decodes.push((id, ctx.context_len(id)));
+            cpu_free -= 1;
+        }
+
+        // Prefills run on the GPU (prefill is compute-bound and stays there), but the
+        // generated KV is always swapped out to the CPU cache.
+        let mut token_budget = cfg.max_batch_tokens;
+        for &id in ctx.waiting {
+            if token_budget == 0 || batch0.sequences() >= cfg.max_batch_seqs {
+                break;
+            }
+            let remaining = ctx.remaining_prefill(id);
+            if remaining == 0 {
+                continue;
+            }
+            let chunk = remaining.min(token_budget).min(cfg.prefill_chunk.max(1));
+            if cpu_free < chunk as i64 {
+                break;
+            }
+            let already = ctx.requests[&id].prefilled;
+            batch0.prefills.push(PrefillItem {
+                req: id,
+                new_tokens: chunk,
+                ctx_after: already + chunk,
+                target: Device::Cpu,
+            });
+            cpu_free -= chunk as i64;
+            token_budget -= chunk;
+        }
+
+        let decision = ScheduleDecision {
+            mode: ExecutionMode::Asymmetric,
+            batch0,
+            batch1,
+            swap_out,
+            swap_in: Vec::new(),
+            preempt: Vec::new(),
+        };
+        if decision.is_idle() {
+            ScheduleDecision::idle()
+        } else {
+            decision
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fastdecode+"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_core::config::EngineConfig;
+    use neo_core::engine::Engine;
+    use neo_core::request::Request;
+    use neo_sim::{CostModel, ModelDesc, Testbed};
+
+    fn engine() -> Engine {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        Engine::new(cost, EngineConfig::default(), Box::new(FastDecodePlusScheduler::new()))
+    }
+
+    #[test]
+    fn all_decode_attention_runs_on_the_cpu() {
+        let mut e = engine();
+        for id in 0..10 {
+            e.submit(Request::new(id, 0.0, 300, 20));
+        }
+        let mut gpu_decode_seen = false;
+        let mut cpu_decode_seen = false;
+        while !e.is_idle() {
+            let r = e.step();
+            if r.decode_tokens > 0 && r.cpu_offloaded == 0 && r.prefill_tokens == 0 {
+                gpu_decode_seen = true;
+            }
+            if r.cpu_offloaded > 0 {
+                cpu_decode_seen = true;
+            }
+        }
+        assert_eq!(e.completed().len(), 10);
+        assert!(cpu_decode_seen, "FastDecode+ must offload decode attention");
+        assert!(!gpu_decode_seen, "FastDecode+ must never run pure GPU decode batches");
+    }
+
+    #[test]
+    fn kv_cache_lives_on_the_cpu() {
+        let mut e = engine();
+        e.submit(Request::new(1, 0.0, 600, 50));
+        // Run a handful of iterations, then check residency.
+        for _ in 0..5 {
+            e.step();
+        }
+        assert_eq!(e.kv().sequences_on(Device::Gpu).len(), 0);
+        assert_eq!(e.kv().sequences_on(Device::Cpu).len(), 1);
+        e.run_to_completion(100_000);
+        assert_eq!(e.completed().len(), 1);
+    }
+
+    #[test]
+    fn name_is_reported() {
+        assert_eq!(FastDecodePlusScheduler::new().name(), "fastdecode+");
+    }
+}

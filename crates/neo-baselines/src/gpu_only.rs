@@ -1,0 +1,182 @@
+//! GPU-only baselines (vLLM-like and SwiftLLM-like).
+//!
+//! These schedulers never use the CPU cache: decode requests live on the GPU, prompts are
+//! admitted (optionally in chunks, like vLLM's `--enable-chunked-prefill`) while GPU KV
+//! memory and the token budget allow, and requests that cannot fit simply wait. This is
+//! the "GPU-only" baseline every figure of the paper normalises against.
+
+use neo_core::batch::{PrefillItem, ScheduleDecision, SubBatch};
+use neo_core::scheduler::{ScheduleContext, Scheduler};
+use neo_core::ExecutionMode;
+use neo_kvcache::Device;
+
+/// A GPU-only iteration-level scheduler.
+#[derive(Debug, Clone)]
+pub struct GpuOnlyScheduler {
+    name: &'static str,
+    chunked_prefill: bool,
+}
+
+impl GpuOnlyScheduler {
+    /// vLLM-like configuration: chunked prefill enabled (the paper passes
+    /// `--enable-chunked-prefill` to vLLM to get selective batching).
+    pub fn vllm_like() -> Self {
+        Self { name: "vllm-like", chunked_prefill: true }
+    }
+
+    /// SwiftLLM-like configuration: selective batching with whole-prompt admission, the
+    /// baseline NEO is built on (and the baseline of Figures 8b, 9 and 10a).
+    pub fn swiftllm_like() -> Self {
+        Self { name: "swiftllm-like", chunked_prefill: false }
+    }
+
+    /// Whether chunked prefill is enabled.
+    pub fn chunked_prefill(&self) -> bool {
+        self.chunked_prefill
+    }
+}
+
+impl Scheduler for GpuOnlyScheduler {
+    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
+        let cfg = ctx.config;
+        let mut batch0 = SubBatch::new();
+        let mut gpu_free = ctx.gpu_free_tokens as i64;
+        let mut preempt: Vec<u64> = Vec::new();
+
+        // Every GPU-resident request needs one new KV slot this iteration. If the GPU pool
+        // cannot supply them, preempt the most recently arrived requests (free their KV and
+        // recompute later), exactly like vLLM's recompute-mode preemption.
+        let mut decodes: Vec<(u64, usize)> =
+            ctx.gpu_run.iter().map(|&id| (id, ctx.context_len(id))).collect();
+        // Earliest-arrival first, so victims are taken from the back (latest arrivals).
+        decodes.sort_by(|a, b| {
+            let ta = ctx.requests[&a.0].arrival_time;
+            let tb = ctx.requests[&b.0].arrival_time;
+            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        while decodes.len() as i64 > gpu_free && decodes.len() > 1 {
+            let (victim, ctx_len) = decodes.pop().expect("non-empty");
+            preempt.push(victim);
+            gpu_free += ctx_len as i64;
+        }
+        for (id, c) in decodes {
+            if gpu_free <= 0 || batch0.sequences() >= cfg.max_batch_seqs {
+                break;
+            }
+            batch0.gpu_decodes.push((id, c));
+            gpu_free -= 1;
+        }
+
+        // Admit prefills while the token budget and GPU memory allow.
+        let mut token_budget = cfg.max_batch_tokens.saturating_sub(batch0.linear_tokens());
+        for &id in ctx.waiting {
+            if token_budget == 0 || batch0.sequences() >= cfg.max_batch_seqs {
+                break;
+            }
+            let remaining = ctx.remaining_prefill(id);
+            if remaining == 0 {
+                continue;
+            }
+            let chunk_cap = if self.chunked_prefill { cfg.prefill_chunk.max(1) } else { remaining };
+            let chunk = remaining.min(token_budget).min(chunk_cap);
+            if !self.chunked_prefill && chunk < remaining && remaining <= cfg.max_batch_tokens {
+                // Whole-prompt admission: if the remainder of the budget cannot take the
+                // full prompt, stop admitting (head-of-line blocking, like SwiftLLM).
+                // Prompts longer than the whole budget are necessarily chunked.
+                break;
+            }
+            if gpu_free < chunk as i64 {
+                break;
+            }
+            let already = ctx.requests[&id].prefilled;
+            batch0.prefills.push(PrefillItem {
+                req: id,
+                new_tokens: chunk,
+                ctx_after: already + chunk,
+                target: Device::Gpu,
+            });
+            gpu_free -= chunk as i64;
+            token_budget -= chunk;
+        }
+
+        let decision = ScheduleDecision {
+            mode: ExecutionMode::GpuOnly,
+            batch0,
+            batch1: SubBatch::new(),
+            swap_out: Vec::new(),
+            swap_in: Vec::new(),
+            preempt,
+        };
+        if decision.is_idle() {
+            ScheduleDecision::idle()
+        } else {
+            decision
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_core::config::EngineConfig;
+    use neo_core::engine::Engine;
+    use neo_core::request::Request;
+    use neo_sim::{CostModel, ModelDesc, Testbed};
+
+    fn engine(scheduler: GpuOnlyScheduler) -> Engine {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        Engine::new(cost, EngineConfig::default(), Box::new(scheduler))
+    }
+
+    #[test]
+    fn vllm_like_completes_requests_without_cpu_use() {
+        let mut e = engine(GpuOnlyScheduler::vllm_like());
+        for id in 0..20 {
+            e.submit(Request::new(id, 0.0, 400, 20));
+        }
+        let mut offloaded = 0;
+        while !e.is_idle() {
+            let r = e.step();
+            offloaded += r.cpu_offloaded + r.swapped_out as usize;
+        }
+        assert_eq!(e.completed().len(), 20);
+        assert_eq!(offloaded, 0, "GPU-only baseline must never offload");
+    }
+
+    #[test]
+    fn swiftllm_like_admits_whole_prompts() {
+        let mut e = engine(GpuOnlyScheduler::swiftllm_like());
+        e.submit(Request::new(1, 0.0, 1500, 4));
+        let report = e.step();
+        // Whole prompt in one go (fits the 2048-token default budget).
+        assert_eq!(report.prefill_tokens, 1500);
+        assert_eq!(e.scheduler_name(), "swiftllm-like");
+    }
+
+    #[test]
+    fn vllm_like_chunks_long_prompts() {
+        let mut e = engine(GpuOnlyScheduler::vllm_like());
+        e.submit(Request::new(1, 0.0, 1500, 4));
+        let report = e.step();
+        assert_eq!(report.prefill_tokens, EngineConfig::default().prefill_chunk);
+    }
+
+    #[test]
+    fn memory_pressure_stalls_rather_than_offloads() {
+        let cost = CostModel::new(ModelDesc::llama2_7b(), Testbed::g4dn_4xlarge(), 1);
+        let mut e = Engine::new(cost, EngineConfig::default(), Box::new(GpuOnlyScheduler::vllm_like()));
+        for id in 0..64 {
+            e.submit(Request::new(id, 0.0, 300, 30));
+        }
+        e.run_to_completion(500_000);
+        assert_eq!(e.completed().len(), 64, "requests must eventually finish by waiting");
+        // The T4 cannot hold all 64 requests at once, so the achieved batch sizes are
+        // small — this is exactly why the paper's Figure 6c shows vLLM collapsing on T4.
+        let kv = e.kv();
+        assert_eq!(kv.sequences_on(Device::Cpu).len(), 0);
+    }
+}

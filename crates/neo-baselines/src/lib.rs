@@ -1,0 +1,23 @@
+//! Baseline scheduling policies the paper compares NEO against.
+//!
+//! Every baseline implements the [`neo_core::Scheduler`] trait and therefore runs inside
+//! the exact same engine as NEO, so performance differences come from policy alone:
+//!
+//! * [`gpu_only::GpuOnlyScheduler`] — vLLM-like / SwiftLLM-like GPU-only serving with
+//!   iteration-level scheduling, paged KV and (optionally) chunked prefill. Never touches
+//!   the CPU cache.
+//! * [`fastdecode::FastDecodePlusScheduler`] — the paper's "FastDecode+": NEO's pipelining
+//!   runtime but with *all* decode attention and KV offloaded to the CPU, no partial
+//!   offload and no GPU-only fallback.
+//! * [`strawmen::SimpleOffloadScheduler`] — strawman #1 (§3.1): full offload with no
+//!   GPU/CPU overlap (the CPU attention sits serially after the GPU linear stage).
+//! * [`strawmen::SymmetricPipelineScheduler`] — strawman #2 (§3.1): full offload with two
+//!   *identical* decode sub-batches overlapped, prefill unintegrated.
+
+pub mod fastdecode;
+pub mod gpu_only;
+pub mod strawmen;
+
+pub use fastdecode::FastDecodePlusScheduler;
+pub use gpu_only::GpuOnlyScheduler;
+pub use strawmen::{SimpleOffloadScheduler, SymmetricPipelineScheduler};

@@ -1,0 +1,244 @@
+//! The two strawman designs of §3.1, used by the pipeline-ablation figure.
+//!
+//! * **Simple offloading** (Figure 3): decode attention and KV move to the CPU, but the
+//!   GPU and CPU never overlap — the CPU attention sits serially after the GPU linear
+//!   stage of the same batch. Modelled by placing every CPU decode in batch-0, whose CPU
+//!   attention the iteration formula cannot overlap with anything.
+//! * **Symmetric pipelining** (Figure 4): the decode batch is split into two *identical*
+//!   halves whose linear and attention stages overlap; prefill is not integrated (it runs
+//!   in the same GPU stream but contributes nothing to hiding CPU work) and GPU KV memory
+//!   is left unused.
+
+use neo_core::batch::{PrefillItem, ScheduleDecision, SubBatch};
+use neo_core::scheduler::{ScheduleContext, Scheduler};
+use neo_core::ExecutionMode;
+use neo_kvcache::Device;
+
+fn admit_prefills_to_cpu(
+    ctx: &ScheduleContext<'_>,
+    batch0: &mut SubBatch,
+    cpu_free: &mut i64,
+) {
+    let cfg = ctx.config;
+    let mut token_budget = cfg.max_batch_tokens.saturating_sub(batch0.linear_tokens());
+    for &id in ctx.waiting {
+        if token_budget == 0 || batch0.sequences() >= cfg.max_batch_seqs {
+            break;
+        }
+        let remaining = ctx.remaining_prefill(id);
+        if remaining == 0 {
+            continue;
+        }
+        let chunk = remaining.min(token_budget).min(cfg.prefill_chunk.max(1));
+        if *cpu_free < chunk as i64 {
+            break;
+        }
+        let already = ctx.requests[&id].prefilled;
+        batch0.prefills.push(PrefillItem {
+            req: id,
+            new_tokens: chunk,
+            ctx_after: already + chunk,
+            target: Device::Cpu,
+        });
+        *cpu_free -= chunk as i64;
+        token_budget -= chunk;
+    }
+}
+
+/// Strawman #1: full offload, no GPU/CPU overlap.
+#[derive(Debug, Clone, Default)]
+pub struct SimpleOffloadScheduler;
+
+impl SimpleOffloadScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for SimpleOffloadScheduler {
+    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
+        let cfg = ctx.config;
+        let mut batch0 = SubBatch::new();
+        let mut swap_out = Vec::new();
+        let mut cpu_free = ctx.cpu_free_tokens as i64;
+
+        for &id in ctx.gpu_run {
+            let c = ctx.context_len(id);
+            if cpu_free >= (c + 1) as i64 {
+                swap_out.push(id);
+                cpu_free -= (c + 1) as i64;
+                batch0.cpu_decodes.push((id, c));
+            }
+        }
+        for &id in ctx.cpu_run {
+            if batch0.sequences() >= cfg.max_batch_seqs || cpu_free <= 0 {
+                break;
+            }
+            batch0.cpu_decodes.push((id, ctx.context_len(id)));
+            cpu_free -= 1;
+        }
+        admit_prefills_to_cpu(ctx, &mut batch0, &mut cpu_free);
+
+        // Everything sits in batch-0: the iteration formula then serialises the CPU
+        // attention after the GPU stages (`max(Tl1 + Tga0, Tca0)` with `Tl1 = 0`), i.e. no
+        // overlap — exactly the simple-offloading timeline of Figure 3.
+        let decision = ScheduleDecision {
+            mode: ExecutionMode::Asymmetric,
+            batch0,
+            batch1: SubBatch::new(),
+            swap_out,
+            swap_in: Vec::new(),
+            preempt: Vec::new(),
+        };
+        if decision.is_idle() {
+            ScheduleDecision::idle()
+        } else {
+            decision
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "simple-offload"
+    }
+}
+
+/// Strawman #2: full offload with two identical decode sub-batches.
+#[derive(Debug, Clone, Default)]
+pub struct SymmetricPipelineScheduler;
+
+impl SymmetricPipelineScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for SymmetricPipelineScheduler {
+    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
+        let cfg = ctx.config;
+        let mut batch0 = SubBatch::new();
+        let mut batch1 = SubBatch::new();
+        let mut swap_out = Vec::new();
+        let mut cpu_free = ctx.cpu_free_tokens as i64;
+
+        // Collect every decode request (all offloaded), then split evenly in two.
+        let mut decodes: Vec<(u64, usize)> = Vec::new();
+        for &id in ctx.gpu_run {
+            let c = ctx.context_len(id);
+            if cpu_free >= (c + 1) as i64 {
+                swap_out.push(id);
+                cpu_free -= (c + 1) as i64;
+                decodes.push((id, c));
+            }
+        }
+        for &id in ctx.cpu_run {
+            if decodes.len() >= 2 * cfg.max_batch_seqs || cpu_free <= 0 {
+                break;
+            }
+            decodes.push((id, ctx.context_len(id)));
+            cpu_free -= 1;
+        }
+        for (i, item) in decodes.into_iter().enumerate() {
+            if i % 2 == 0 {
+                batch0.cpu_decodes.push(item);
+            } else {
+                batch1.cpu_decodes.push(item);
+            }
+        }
+
+        admit_prefills_to_cpu(ctx, &mut batch0, &mut cpu_free);
+
+        let decision = ScheduleDecision {
+            mode: ExecutionMode::Asymmetric,
+            batch0,
+            batch1,
+            swap_out,
+            swap_in: Vec::new(),
+            preempt: Vec::new(),
+        };
+        if decision.is_idle() {
+            ScheduleDecision::idle()
+        } else {
+            decision
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "symmetric-pipeline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_core::config::EngineConfig;
+    use neo_core::engine::Engine;
+    use neo_core::request::Request;
+    use neo_sim::{CostModel, ModelDesc, Testbed};
+
+    fn engine(sched: Box<dyn Scheduler>) -> Engine {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        Engine::new(cost, EngineConfig::default(), sched)
+    }
+
+    fn run_workload(sched: Box<dyn Scheduler>) -> (f64, usize) {
+        let mut e = engine(sched);
+        for id in 0..24 {
+            e.submit(Request::new(id, 0.0, 400, 32));
+        }
+        e.run_to_completion(200_000);
+        assert_eq!(e.completed().len(), 24);
+        (e.now(), e.completed().len())
+    }
+
+    #[test]
+    fn both_strawmen_complete_workloads() {
+        let (t_simple, n1) = run_workload(Box::new(SimpleOffloadScheduler::new()));
+        let (t_sym, n2) = run_workload(Box::new(SymmetricPipelineScheduler::new()));
+        assert_eq!(n1, 24);
+        assert_eq!(n2, 24);
+        assert!(t_simple > 0.0 && t_sym > 0.0);
+    }
+
+    #[test]
+    fn symmetric_overlap_beats_simple_offloading() {
+        // Overlapping the two halves must not be slower than fully serialising GPU and CPU
+        // stages (Figure 4 vs Figure 3).
+        let (t_simple, _) = run_workload(Box::new(SimpleOffloadScheduler::new()));
+        let (t_sym, _) = run_workload(Box::new(SymmetricPipelineScheduler::new()));
+        assert!(
+            t_sym <= t_simple * 1.05,
+            "symmetric pipelining ({t_sym:.2}s) should not lose to simple offloading ({t_simple:.2}s)"
+        );
+    }
+
+    #[test]
+    fn symmetric_splits_decodes_roughly_evenly() {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        let mut e = Engine::new(
+            cost,
+            EngineConfig::default(),
+            Box::new(SymmetricPipelineScheduler::new()),
+        );
+        for id in 0..30 {
+            e.submit(Request::new(id, 0.0, 200, 40));
+        }
+        // After prefill settles, decode iterations should offload all 30 requests.
+        let mut max_offloaded = 0;
+        for _ in 0..200 {
+            if e.is_idle() {
+                break;
+            }
+            let r = e.step();
+            max_offloaded = max_offloaded.max(r.cpu_offloaded);
+        }
+        assert!(max_offloaded >= 30, "all decodes offloaded, saw {max_offloaded}");
+    }
+
+    #[test]
+    fn strawmen_report_names() {
+        assert_eq!(SimpleOffloadScheduler::new().name(), "simple-offload");
+        assert_eq!(SymmetricPipelineScheduler::new().name(), "symmetric-pipeline");
+    }
+}

@@ -1,0 +1,161 @@
+//! Micro-benchmarks of the functional CPU attention kernels (the PACPU equivalent).
+//!
+//! Measures paged decode attention across context lengths, batch sizes and partition
+//! sizes, and the serial vs partitioned-parallel variants — the CPU-side operator whose
+//! memory-bandwidth behaviour underpins the whole paper.
+
+#![allow(missing_docs)] // criterion_group! generates an undocumented accessor
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neo_kernels::decode::{
+    paged_decode_attention, paged_decode_attention_serial, paged_decode_attention_with_partitions,
+};
+use neo_kernels::prefill::paged_prefill_attention;
+use neo_kernels::AttentionConfig;
+use neo_kvcache::{BlockTable, PagedStorage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Fixture {
+    storage: PagedStorage,
+    tables: Vec<BlockTable>,
+    seq_lens: Vec<usize>,
+    queries: Vec<f32>,
+    cfg: AttentionConfig,
+}
+
+fn build(n_seqs: usize, ctx: usize, cfg: AttentionConfig) -> Fixture {
+    let block_size = 16;
+    let blocks_per_seq = ctx.div_ceil(block_size);
+    let mut storage =
+        PagedStorage::new(n_seqs * blocks_per_seq, block_size, cfg.n_kv_heads, cfg.head_dim);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut tables = Vec::new();
+    for s in 0..n_seqs {
+        let mut t = BlockTable::new(block_size);
+        t.append(ctx, (s * blocks_per_seq..(s + 1) * blocks_per_seq).collect()).unwrap();
+        for i in 0..ctx {
+            let (b, slot) = t.locate(i).unwrap();
+            let k: Vec<f32> = (0..cfg.kv_stride()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let v: Vec<f32> = (0..cfg.kv_stride()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            storage.write_token(b, slot, &k, &v).unwrap();
+        }
+        tables.push(t);
+    }
+    let queries: Vec<f32> =
+        (0..n_seqs * cfg.q_stride()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Fixture { storage, tables, seq_lens: vec![ctx; n_seqs], queries, cfg }
+}
+
+fn kv_bytes(fx: &Fixture) -> u64 {
+    (fx.seq_lens.iter().sum::<usize>() * fx.cfg.kv_stride() * 2 * 4) as u64
+}
+
+fn bench_decode_context_scaling(c: &mut Criterion) {
+    let cfg = AttentionConfig::new(32, 8, 128); // LLaMa-3.1-8B head geometry
+    let mut group = c.benchmark_group("decode_attention/context_length");
+    group.sample_size(20);
+    for &ctx in &[256usize, 1024, 4096] {
+        let fx = build(4, ctx, cfg);
+        group.throughput(Throughput::Bytes(kv_bytes(&fx)));
+        group.bench_with_input(BenchmarkId::from_parameter(ctx), &fx, |b, fx| {
+            let tables: Vec<&BlockTable> = fx.tables.iter().collect();
+            let mut out = vec![0.0f32; fx.queries.len()];
+            b.iter(|| {
+                paged_decode_attention(
+                    &fx.queries,
+                    &fx.storage,
+                    &tables,
+                    &fx.seq_lens,
+                    &fx.cfg,
+                    &mut out,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_batch_scaling(c: &mut Criterion) {
+    let cfg = AttentionConfig::new(32, 8, 128);
+    let mut group = c.benchmark_group("decode_attention/batch_size");
+    group.sample_size(20);
+    for &n in &[1usize, 8, 32] {
+        let fx = build(n, 1024, cfg);
+        group.throughput(Throughput::Bytes(kv_bytes(&fx)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fx, |b, fx| {
+            let tables: Vec<&BlockTable> = fx.tables.iter().collect();
+            let mut out = vec![0.0f32; fx.queries.len()];
+            b.iter(|| {
+                paged_decode_attention(
+                    &fx.queries,
+                    &fx.storage,
+                    &tables,
+                    &fx.seq_lens,
+                    &fx.cfg,
+                    &mut out,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let cfg = AttentionConfig::new(32, 8, 128);
+    let fx = build(8, 2048, cfg);
+    let tables: Vec<&BlockTable> = fx.tables.iter().collect();
+    let mut group = c.benchmark_group("decode_attention/parallelism");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(kv_bytes(&fx)));
+    group.bench_function("serial", |b| {
+        let mut out = vec![0.0f32; fx.queries.len()];
+        b.iter(|| {
+            paged_decode_attention_serial(
+                &fx.queries, &fx.storage, &tables, &fx.seq_lens, &fx.cfg, &mut out,
+            )
+        });
+    });
+    for &partition_blocks in &[1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("flash_decoding_partitions", partition_blocks),
+            &partition_blocks,
+            |b, &p| {
+                let mut out = vec![0.0f32; fx.queries.len()];
+                b.iter(|| {
+                    paged_decode_attention_with_partitions(
+                        &fx.queries, &fx.storage, &tables, &fx.seq_lens, &fx.cfg, p, &mut out,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prefill(c: &mut Criterion) {
+    let cfg = AttentionConfig::new(8, 2, 64);
+    let mut group = c.benchmark_group("prefill_attention/prompt_length");
+    group.sample_size(15);
+    for &len in &[128usize, 512] {
+        let fx = build(1, len, cfg);
+        let mut rng = StdRng::seed_from_u64(9);
+        let q: Vec<f32> = (0..len * cfg.q_stride()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let mut out = vec![0.0f32; len * cfg.q_stride()];
+            b.iter(|| {
+                paged_prefill_attention(&q, &fx.storage, &fx.tables[0], len, len, &cfg, &mut out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode_context_scaling,
+    bench_decode_batch_scaling,
+    bench_serial_vs_parallel,
+    bench_prefill
+);
+criterion_main!(benches);

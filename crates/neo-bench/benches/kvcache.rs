@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the paged KV cache: allocation, growth, release and swap.
+
+#![allow(missing_docs)] // criterion_group! generates an undocumented accessor
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neo_kvcache::manager::{KvCacheConfig, KvCacheManager};
+use neo_kvcache::Device;
+
+fn manager() -> KvCacheManager {
+    KvCacheManager::new(KvCacheConfig {
+        block_size: 16,
+        gpu_capacity_tokens: 1 << 18,
+        cpu_capacity_tokens: 1 << 20,
+        kv_bytes_per_token: 128 * 1024,
+    })
+}
+
+fn bench_allocate_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvcache/allocate_free");
+    for &tokens in &[128usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(tokens), &tokens, |b, &tokens| {
+            let mut mgr = manager();
+            b.iter(|| {
+                mgr.allocate_sequence(1, tokens, Device::Gpu).unwrap();
+                mgr.free_sequence(1).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_append(c: &mut Criterion) {
+    c.bench_function("kvcache/append_one_token_x1000_seqs", |b| {
+        // A fresh manager per sample batch: repeated appends would otherwise exhaust the
+        // pool during criterion's warm-up.
+        b.iter_batched_ref(
+            || {
+                let mut mgr = manager();
+                for id in 0..1000u64 {
+                    mgr.allocate_sequence(id, 100, Device::Gpu).unwrap();
+                }
+                mgr
+            },
+            |mgr| {
+                for id in 0..1000u64 {
+                    mgr.append_tokens(id, 1).unwrap();
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvcache/swap_round_trip");
+    for &tokens in &[256usize, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(tokens), &tokens, |b, &tokens| {
+            let mut mgr = manager();
+            mgr.allocate_sequence(1, tokens, Device::Gpu).unwrap();
+            b.iter(|| {
+                mgr.swap(1, Device::Cpu).unwrap();
+                mgr.swap(1, Device::Gpu).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocate_free, bench_decode_append, bench_swap);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Table 1: hardware specifications of the testbeds.
+//!
+//! Prints the hardware presets used throughout the reproduction in the same shape as
+//! Table 1 of the paper (instance name, GPU, CPU/cores, memory), plus the derived
+//! quantities the cost model works from (memory bandwidths, GPU KV capacity).
+
+use neo_bench::{print_table, save_json, Scenario};
+use neo_sim::Testbed;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    gpu: String,
+    gpus: usize,
+    cpu: String,
+    cpu_mem_gb: u64,
+    gpu_mem_bw_gbs: f64,
+    cpu_mem_bw_gbs: f64,
+    gpu_kv_capacity_tokens: usize,
+    cpu_kv_capacity_tokens: usize,
+}
+
+fn main() {
+    let testbeds: Vec<(Testbed, Scenario)> = vec![
+        (Testbed::g5_xlarge(2), Scenario::a10g_8b_on(2)),
+        (Testbed::g5_xlarge(4), Scenario::a10g_8b_on(4)),
+        (Testbed::g5_xlarge(8), Scenario::a10g_8b_on(8)),
+        (Testbed::g5_xlarge(16), Scenario::a10g_8b_on(16)),
+        (Testbed::g4dn_4xlarge(), Scenario::t4_7b()),
+        (Testbed::hgx_h100(2), Scenario::h100_70b()),
+    ];
+
+    let rows: Vec<Row> = testbeds
+        .iter()
+        .map(|(tb, scenario)| {
+            let cm = scenario.cost_model();
+            Row {
+                name: tb.name.clone(),
+                gpu: tb.gpu.name.clone(),
+                gpus: tb.num_gpus,
+                cpu: tb.cpu.name.clone(),
+                cpu_mem_gb: tb.cpu.mem_bytes / (1 << 30),
+                gpu_mem_bw_gbs: tb.gpu.mem_bw / 1e9,
+                cpu_mem_bw_gbs: tb.cpu.mem_bw / 1e9,
+                gpu_kv_capacity_tokens: cm.gpu_kv_capacity_tokens(),
+                cpu_kv_capacity_tokens: cm.cpu_kv_capacity_tokens(),
+            }
+        })
+        .collect();
+
+    print_table(
+        "Table 1: testbed hardware (with derived KV capacities for the paired model)",
+        &[
+            "instance",
+            "GPU",
+            "#GPU",
+            "CPU",
+            "host mem (GB)",
+            "GPU BW (GB/s)",
+            "CPU BW (GB/s)",
+            "GPU KV cap (tok)",
+            "CPU KV cap (tok)",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.gpu.clone(),
+                    r.gpus.to_string(),
+                    r.cpu.clone(),
+                    r.cpu_mem_gb.to_string(),
+                    format!("{:.0}", r.gpu_mem_bw_gbs),
+                    format!("{:.0}", r.cpu_mem_bw_gbs),
+                    r.gpu_kv_capacity_tokens.to_string(),
+                    r.cpu_kv_capacity_tokens.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    save_json("table1_hardware", &rows);
+}

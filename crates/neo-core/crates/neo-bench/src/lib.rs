@@ -1,0 +1,1 @@
+//! Shared helpers for the NEO benchmark and figure harnesses.

@@ -1,0 +1,244 @@
+//! Sub-batches and scheduling decisions.
+//!
+//! One NEO iteration executes up to two *sub-batches*. Batch-0 carries every prefill chunk
+//! and every GPU-resident decode plus a handful of CPU-resident decodes; batch-1 carries
+//! the bulk of the CPU-resident decodes and has an almost empty linear stage. The
+//! [`ScheduleDecision`] additionally lists the KV swaps the engine must apply before
+//! executing the iteration.
+
+use neo_kvcache::Device;
+
+use crate::ExecutionMode;
+
+/// One prefill chunk scheduled in batch-0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillItem {
+    /// Request being prefilled.
+    pub req: u64,
+    /// Number of new prompt tokens processed this iteration.
+    pub new_tokens: usize,
+    /// Total context (already-prefilled + new tokens) after this chunk.
+    pub ctx_after: usize,
+    /// Device the generated KV cache will reside on. `Device::Cpu` means the chunk's KV is
+    /// swapped out (layer-wise) during the iteration.
+    pub target: Device,
+}
+
+/// One sub-batch of an iteration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SubBatch {
+    /// Prefill chunks (only ever present in batch-0).
+    pub prefills: Vec<PrefillItem>,
+    /// Decode requests whose attention runs on the GPU, identified by request id and
+    /// current context length (tokens of KV read by attention this iteration).
+    pub gpu_decodes: Vec<(u64, usize)>,
+    /// Decode requests whose attention runs on the CPU.
+    pub cpu_decodes: Vec<(u64, usize)>,
+}
+
+impl SubBatch {
+    /// Creates an empty sub-batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the sub-batch contains no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.prefills.is_empty() && self.gpu_decodes.is_empty() && self.cpu_decodes.is_empty()
+    }
+
+    /// Number of *new* tokens processed by the linear stages of this sub-batch
+    /// (prefill chunk tokens plus one per decode request).
+    pub fn linear_tokens(&self) -> usize {
+        self.prefills.iter().map(|p| p.new_tokens).sum::<usize>()
+            + self.gpu_decodes.len()
+            + self.cpu_decodes.len()
+    }
+
+    /// Number of sequences that will produce an output token this iteration
+    /// (decodes plus prefills that complete their prompt).
+    pub fn sequences(&self) -> usize {
+        self.gpu_decodes.len() + self.cpu_decodes.len() + self.prefills.len()
+    }
+
+    /// `(new_tokens, ctx_after)` pairs of the prefill chunks, as the cost model expects.
+    pub fn prefill_chunks(&self) -> Vec<(usize, usize)> {
+        self.prefills.iter().map(|p| (p.new_tokens, p.ctx_after)).collect()
+    }
+
+    /// Total context tokens read by GPU decode attention.
+    pub fn gpu_decode_ctx(&self) -> usize {
+        self.gpu_decodes.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Total context tokens read by CPU decode attention.
+    pub fn cpu_decode_ctx(&self) -> usize {
+        self.cpu_decodes.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Tokens of freshly produced KV that must be swapped out to the CPU cache
+    /// (prefill chunks whose target is the CPU).
+    pub fn swap_out_tokens(&self) -> usize {
+        self.prefills
+            .iter()
+            .filter(|p| p.target == Device::Cpu)
+            .map(|p| p.new_tokens)
+            .sum()
+    }
+
+    /// Ids of every request touched by this sub-batch.
+    pub fn request_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .prefills
+            .iter()
+            .map(|p| p.req)
+            .chain(self.gpu_decodes.iter().map(|&(id, _)| id))
+            .chain(self.cpu_decodes.iter().map(|&(id, _)| id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// The complete decision a scheduler produces for one iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleDecision {
+    /// Whether to run GPU-only or asymmetric two-sub-batch pipelining.
+    pub mode: ExecutionMode,
+    /// Batch-0 (GPU-heavy sub-batch).
+    pub batch0: SubBatch,
+    /// Batch-1 (CPU-heavy sub-batch); empty in GPU-only mode.
+    pub batch1: SubBatch,
+    /// GPU-resident decode requests whose whole KV cache must be swapped out to the CPU
+    /// before this iteration runs (to make room on the GPU).
+    pub swap_out: Vec<u64>,
+    /// CPU-resident decode requests whose KV cache is brought back to the GPU before this
+    /// iteration runs.
+    pub swap_in: Vec<u64>,
+    /// Running requests to preempt: their KV cache is released and they return to the
+    /// prefill waitqueue for recomputation (vLLM-style eviction under memory pressure,
+    /// used when neither the GPU-cache nor the CPU-cache can hold them).
+    pub preempt: Vec<u64>,
+}
+
+impl Default for ScheduleDecision {
+    fn default() -> Self {
+        Self::idle()
+    }
+}
+
+impl ScheduleDecision {
+    /// An empty GPU-only decision (the engine idles one scheduling quantum).
+    pub fn idle() -> Self {
+        Self {
+            mode: ExecutionMode::GpuOnly,
+            batch0: SubBatch::new(),
+            batch1: SubBatch::new(),
+            swap_out: Vec::new(),
+            swap_in: Vec::new(),
+            preempt: Vec::new(),
+        }
+    }
+
+    /// Whether the decision schedules no work at all (no batches, no swaps, no
+    /// preemptions).
+    pub fn is_idle(&self) -> bool {
+        self.batch0.is_empty()
+            && self.batch1.is_empty()
+            && self.swap_out.is_empty()
+            && self.swap_in.is_empty()
+            && self.preempt.is_empty()
+    }
+
+    /// Total sequences producing an output token this iteration (the paper's batch size
+    /// `x`).
+    pub fn batch_size(&self) -> usize {
+        self.batch0.sequences() + self.batch1.sequences()
+    }
+
+    /// Total new tokens processed by linear stages across both sub-batches.
+    pub fn total_linear_tokens(&self) -> usize {
+        self.batch0.linear_tokens() + self.batch1.linear_tokens()
+    }
+
+    /// Ids of every request scheduled to run (not counting pure swaps).
+    pub fn scheduled_ids(&self) -> Vec<u64> {
+        let mut ids = self.batch0.request_ids();
+        ids.extend(self.batch1.request_ids());
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> SubBatch {
+        SubBatch {
+            prefills: vec![
+                PrefillItem { req: 1, new_tokens: 100, ctx_after: 100, target: Device::Gpu },
+                PrefillItem { req: 2, new_tokens: 50, ctx_after: 80, target: Device::Cpu },
+            ],
+            gpu_decodes: vec![(3, 500), (4, 200)],
+            cpu_decodes: vec![(5, 1000)],
+        }
+    }
+
+    #[test]
+    fn token_and_sequence_accounting() {
+        let b = sample_batch();
+        assert_eq!(b.linear_tokens(), 100 + 50 + 2 + 1);
+        assert_eq!(b.sequences(), 5);
+        assert_eq!(b.gpu_decode_ctx(), 700);
+        assert_eq!(b.cpu_decode_ctx(), 1000);
+        assert_eq!(b.swap_out_tokens(), 50);
+        assert_eq!(b.prefill_chunks(), vec![(100, 100), (50, 80)]);
+        assert_eq!(b.request_ids(), vec![1, 2, 3, 4, 5]);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let b = SubBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.linear_tokens(), 0);
+        assert_eq!(b.sequences(), 0);
+        assert_eq!(b.swap_out_tokens(), 0);
+    }
+
+    #[test]
+    fn idle_decision_reports_idle() {
+        let d = ScheduleDecision::idle();
+        assert!(d.is_idle());
+        assert_eq!(d.batch_size(), 0);
+        let mut with_swap = ScheduleDecision::idle();
+        with_swap.swap_in.push(7);
+        assert!(!with_swap.is_idle());
+    }
+
+    #[test]
+    fn decision_aggregates_both_batches() {
+        let d = ScheduleDecision {
+            mode: ExecutionMode::Asymmetric,
+            batch0: sample_batch(),
+            batch1: SubBatch {
+                prefills: vec![],
+                gpu_decodes: vec![],
+                cpu_decodes: vec![(9, 300), (10, 400)],
+            },
+            swap_out: vec![],
+            swap_in: vec![],
+            preempt: vec![],
+        };
+        assert_eq!(d.batch_size(), 7);
+        assert_eq!(d.total_linear_tokens(), 153 + 2);
+        assert_eq!(d.scheduled_ids(), vec![1, 2, 3, 4, 5, 9, 10]);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(ExecutionMode::GpuOnly.to_string(), "gpu-only");
+        assert_eq!(ExecutionMode::Asymmetric.to_string(), "asymmetric");
+    }
+}

@@ -1,0 +1,556 @@
+//! The iteration-level execution engine.
+//!
+//! [`Engine`] owns the request queues, the paged KV cache accounting and the simulation
+//! clock. Every [`Engine::step`] asks the configured [`Scheduler`] for a decision, applies
+//! the KV swaps and prefill admissions it requested, "executes" the iteration by charging
+//! its duration from the exact cost model (the scheduler only ever saw the
+//! profiled/interpolated model, like the real system), generates output tokens, retires
+//! finished requests and advances the clock.
+//!
+//! The same engine executes NEO and every baseline policy, so throughput/latency
+//! comparisons only reflect scheduling differences — mirroring how the paper implements
+//! FastDecode+ on top of NEO's own runtime.
+
+use std::collections::HashMap;
+
+use neo_kvcache::manager::{KvCacheConfig, KvCacheManager};
+use neo_kvcache::Device;
+use neo_sim::profiler::ProfiledCostModel;
+use neo_sim::{CostModel, SimClock};
+
+use crate::config::EngineConfig;
+use crate::pipeline::{estimate_decision, IterationEstimate};
+use crate::request::{Request, RequestState};
+use crate::scheduler::{ScheduleContext, Scheduler};
+use crate::ExecutionMode;
+
+/// Time charged for a scheduling quantum in which nothing could run.
+const IDLE_QUANTUM: f64 = 1e-3;
+
+/// Tokens per KV block used by the engine's cache accounting.
+const BLOCK_SIZE: usize = 16;
+
+/// Summary of one executed iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationReport {
+    /// Iteration index (1-based).
+    pub iteration: u64,
+    /// Simulated time at which the iteration started.
+    pub start_time: f64,
+    /// Iteration duration in seconds.
+    pub duration: f64,
+    /// Execution mode chosen by the scheduler.
+    pub mode: ExecutionMode,
+    /// Sequences that produced an output token.
+    pub batch_size: usize,
+    /// Prompt tokens prefilled this iteration.
+    pub prefill_tokens: usize,
+    /// Output tokens generated this iteration.
+    pub decode_tokens: usize,
+    /// Decode requests whose attention ran on the CPU.
+    pub cpu_offloaded: usize,
+    /// Requests swapped GPU→CPU before the iteration.
+    pub swapped_out: usize,
+    /// Requests swapped CPU→GPU before the iteration.
+    pub swapped_in: usize,
+    /// Whether the iteration was an idle quantum (no work executed).
+    pub idle: bool,
+}
+
+/// The iteration-level serving engine.
+pub struct Engine {
+    cost: CostModel,
+    sched_cost: ProfiledCostModel,
+    config: EngineConfig,
+    scheduler: Box<dyn Scheduler>,
+    kv: KvCacheManager,
+    clock: SimClock,
+    requests: HashMap<u64, Request>,
+    waiting: Vec<u64>,
+    gpu_run: Vec<u64>,
+    cpu_run: Vec<u64>,
+    prefill_device: HashMap<u64, Device>,
+    completed: Vec<Request>,
+    iterations: u64,
+    total_decode_tokens: u64,
+    total_prefill_tokens: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("scheduler", &self.scheduler.name())
+            .field("now", &self.clock.now())
+            .field("waiting", &self.waiting.len())
+            .field("gpu_run", &self.gpu_run.len())
+            .field("cpu_run", &self.cpu_run.len())
+            .field("completed", &self.completed.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine for the given cost model (hardware + model), configuration and
+    /// scheduling policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`EngineConfig::validate`]).
+    pub fn new(cost: CostModel, config: EngineConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        let problems = config.validate();
+        assert!(problems.is_empty(), "invalid engine config: {}", problems.join("; "));
+        // Reserve activations for exactly the number of tokens this engine will ever
+        // batch, so the GPU KV budget matches the configured batching limit.
+        let cost = cost.with_max_batch_tokens(config.max_batch_tokens);
+        let kv = KvCacheManager::new(KvCacheConfig {
+            block_size: BLOCK_SIZE,
+            gpu_capacity_tokens: cost.gpu_kv_capacity_tokens(),
+            cpu_capacity_tokens: cost.cpu_kv_capacity_tokens(),
+            kv_bytes_per_token: cost.kv_bytes_per_token(),
+        });
+        let sched_cost = ProfiledCostModel::with_noise(cost.clone(), config.profile_noise);
+        Self {
+            cost,
+            sched_cost,
+            config,
+            scheduler,
+            kv,
+            clock: SimClock::new(),
+            requests: HashMap::new(),
+            waiting: Vec::new(),
+            gpu_run: Vec::new(),
+            cpu_run: Vec::new(),
+            prefill_device: HashMap::new(),
+            completed: Vec::new(),
+            iterations: 0,
+            total_decode_tokens: 0,
+            total_prefill_tokens: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Moves the clock forward to `t` (used by the serving loop to jump to the next
+    /// arrival when the engine is idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: f64) {
+        self.clock.advance_to(t);
+    }
+
+    /// Submits a new request; it joins the prefill waitqueue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request with the same id is already live or completed.
+    pub fn submit(&mut self, request: Request) {
+        assert!(
+            !self.requests.contains_key(&request.id)
+                && !self.completed.iter().any(|r| r.id == request.id),
+            "duplicate request id {}",
+            request.id
+        );
+        self.waiting.push(request.id);
+        self.requests.insert(request.id, request);
+    }
+
+    /// Whether no request is waiting or running.
+    pub fn is_idle(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Number of live (not yet finished) requests.
+    pub fn live_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Requests that have finished, in completion order.
+    pub fn completed(&self) -> &[Request] {
+        &self.completed
+    }
+
+    /// Total output tokens generated so far.
+    pub fn total_decode_tokens(&self) -> u64 {
+        self.total_decode_tokens
+    }
+
+    /// Total prompt tokens prefilled so far.
+    pub fn total_prefill_tokens(&self) -> u64 {
+        self.total_prefill_tokens
+    }
+
+    /// Number of iterations executed (including idle quanta).
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Name of the scheduling policy driving this engine.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Exact cost model of the underlying hardware/model pair.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Read-only view of the KV cache accounting.
+    pub fn kv(&self) -> &KvCacheManager {
+        &self.kv
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Executes one iteration and returns its report.
+    pub fn step(&mut self) -> IterationReport {
+        self.iterations += 1;
+        let start_time = self.clock.now();
+
+        let decision = {
+            let ctx = ScheduleContext {
+                cost: &self.sched_cost,
+                config: &self.config,
+                requests: &self.requests,
+                waiting: &self.waiting,
+                gpu_run: &self.gpu_run,
+                cpu_run: &self.cpu_run,
+                gpu_free_tokens: self.kv.free_tokens(Device::Gpu),
+                cpu_free_tokens: self.kv.free_tokens(Device::Cpu),
+                prefill_device: &self.prefill_device,
+            };
+            self.scheduler.schedule(&ctx)
+        };
+
+        if decision.is_idle() {
+            self.clock.advance(IDLE_QUANTUM);
+            return IterationReport {
+                iteration: self.iterations,
+                start_time,
+                duration: IDLE_QUANTUM,
+                mode: ExecutionMode::GpuOnly,
+                batch_size: 0,
+                prefill_tokens: 0,
+                decode_tokens: 0,
+                cpu_offloaded: 0,
+                swapped_out: 0,
+                swapped_in: 0,
+                idle: true,
+            };
+        }
+
+        // Apply preemptions first: the victim's KV cache is discarded and it rejoins the
+        // prefill waitqueue for recomputation.
+        for &id in &decision.preempt {
+            if !self.requests.contains_key(&id) {
+                continue;
+            }
+            let _ = self.kv.free_sequence(id);
+            self.gpu_run.retain(|&x| x != id);
+            self.cpu_run.retain(|&x| x != id);
+            self.prefill_device.remove(&id);
+            let request = self.requests.get_mut(&id).expect("checked above");
+            request.preempt();
+            if !self.waiting.contains(&id) {
+                self.waiting.push(id);
+            }
+        }
+
+        // Apply whole-sequence swaps first (they free / claim GPU memory for this
+        // iteration) and track the tokens they move for the time estimate.
+        let mut swap_out_tokens = 0usize;
+        let mut swapped_out = 0usize;
+        for &id in &decision.swap_out {
+            if self.kv.swap(id, Device::Cpu).is_ok() {
+                swap_out_tokens += self.requests[&id].context_len();
+                move_id(&mut self.gpu_run, &mut self.cpu_run, id);
+                if let Some(r) = self.requests.get_mut(&id) {
+                    r.state = RequestState::RunningCpu;
+                }
+                swapped_out += 1;
+            }
+        }
+        let mut swap_in_tokens = 0usize;
+        let mut swapped_in = 0usize;
+        for &id in &decision.swap_in {
+            if self.kv.swap(id, Device::Gpu).is_ok() {
+                swap_in_tokens += self.requests[&id].context_len();
+                move_id(&mut self.cpu_run, &mut self.gpu_run, id);
+                if let Some(r) = self.requests.get_mut(&id) {
+                    r.state = RequestState::RunningGpu;
+                }
+                swapped_in += 1;
+            }
+        }
+
+        // "Execute": charge the iteration's duration from the exact cost model.
+        let estimate: IterationEstimate = estimate_decision(
+            &self.cost,
+            &decision,
+            swap_out_tokens,
+            swap_in_tokens,
+            self.config.layerwise_swap_overlap,
+        );
+        let end_time = self.clock.advance(estimate.total_time.max(1e-6));
+
+        // Prefill progress.
+        let mut prefill_tokens = 0usize;
+        let mut decode_tokens = 0usize;
+        for item in &decision.batch0.prefills {
+            let allocated = if self.requests[&item.req].prefilled == 0 {
+                self.prefill_device.insert(item.req, item.target);
+                self.kv.allocate_sequence(item.req, item.new_tokens, item.target).is_ok()
+            } else {
+                self.kv.append_tokens(item.req, item.new_tokens).is_ok()
+            };
+            if !allocated {
+                continue; // cache full at block granularity; retried next iteration
+            }
+            prefill_tokens += item.new_tokens;
+            let request = self.requests.get_mut(&item.req).expect("scheduled request exists");
+            request.advance_prefill(item.new_tokens);
+            if request.prefill_complete() {
+                // The prefill iteration also emits the first output token.
+                request.advance_decode(end_time);
+                decode_tokens += 1;
+                self.waiting.retain(|&w| w != item.req);
+                self.prefill_device.remove(&item.req);
+                if request.is_finished() {
+                    self.retire(item.req, item.target);
+                } else {
+                    match item.target {
+                        Device::Gpu => {
+                            request.state = RequestState::RunningGpu;
+                            self.gpu_run.push(item.req);
+                        }
+                        Device::Cpu => {
+                            request.state = RequestState::RunningCpu;
+                            self.cpu_run.push(item.req);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Decode progress (both sub-batches, GPU and CPU attention alike).
+        let cpu_offloaded =
+            decision.batch0.cpu_decodes.len() + decision.batch1.cpu_decodes.len();
+        let decode_ids: Vec<u64> = decision
+            .batch0
+            .gpu_decodes
+            .iter()
+            .chain(decision.batch0.cpu_decodes.iter())
+            .chain(decision.batch1.gpu_decodes.iter())
+            .chain(decision.batch1.cpu_decodes.iter())
+            .map(|&(id, _)| id)
+            .collect();
+        for id in decode_ids {
+            let Some(request) = self.requests.get(&id) else { continue };
+            if !request.prefill_complete() || request.is_finished() {
+                continue;
+            }
+            if self.kv.append_tokens(id, 1).is_err() {
+                continue; // no block available; the request idles this iteration
+            }
+            let request = self.requests.get_mut(&id).expect("checked above");
+            request.advance_decode(end_time);
+            decode_tokens += 1;
+            if request.is_finished() {
+                let device = self.kv.device_of(id).unwrap_or(Device::Gpu);
+                self.retire(id, device);
+            }
+        }
+
+        self.total_prefill_tokens += prefill_tokens as u64;
+        self.total_decode_tokens += decode_tokens as u64;
+
+        IterationReport {
+            iteration: self.iterations,
+            start_time,
+            duration: end_time - start_time,
+            mode: decision.mode,
+            batch_size: decision.batch_size(),
+            prefill_tokens,
+            decode_tokens,
+            cpu_offloaded,
+            swapped_out,
+            swapped_in,
+            idle: false,
+        }
+    }
+
+    /// Removes a finished request from every queue, frees its KV cache and archives it.
+    fn retire(&mut self, id: u64, _device: Device) {
+        let _ = self.kv.free_sequence(id);
+        self.gpu_run.retain(|&x| x != id);
+        self.cpu_run.retain(|&x| x != id);
+        self.waiting.retain(|&x| x != id);
+        self.prefill_device.remove(&id);
+        if let Some(r) = self.requests.remove(&id) {
+            self.completed.push(r);
+        }
+    }
+
+    /// Runs iterations until every submitted request has finished or `max_iterations` is
+    /// reached, returning the number of iterations executed.
+    pub fn run_to_completion(&mut self, max_iterations: u64) -> u64 {
+        let mut n = 0;
+        while !self.is_idle() && n < max_iterations {
+            self.step();
+            n += 1;
+        }
+        n
+    }
+}
+
+fn move_id(from: &mut Vec<u64>, to: &mut Vec<u64>, id: u64) {
+    from.retain(|&x| x != id);
+    if !to.contains(&id) {
+        to.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::NeoScheduler;
+    use neo_sim::{ModelDesc, Testbed};
+
+    fn engine(testbed: Testbed, model: ModelDesc) -> Engine {
+        let tp = if testbed.num_gpus > 1 { 2 } else { 1 };
+        let cost = CostModel::new(model, testbed, tp);
+        Engine::new(cost, EngineConfig::default(), Box::new(NeoScheduler::new()))
+    }
+
+    fn a10g_engine() -> Engine {
+        engine(Testbed::g5_xlarge(4), ModelDesc::llama3_8b())
+    }
+
+    #[test]
+    fn single_request_completes_with_correct_counts() {
+        let mut e = a10g_engine();
+        e.submit(Request::new(1, 0.0, 100, 20));
+        let iters = e.run_to_completion(10_000);
+        assert!(iters < 10_000, "request did not finish");
+        assert_eq!(e.completed().len(), 1);
+        let r = &e.completed()[0];
+        assert_eq!(r.generated, 20);
+        assert_eq!(r.prefilled, 100);
+        assert!(r.latency().unwrap() > 0.0);
+        // KV fully released.
+        assert_eq!(e.kv().num_sequences(), 0);
+        assert_eq!(e.total_decode_tokens(), 20);
+        assert_eq!(e.total_prefill_tokens(), 100);
+    }
+
+    #[test]
+    fn many_requests_all_complete_and_conserve_tokens() {
+        let mut e = a10g_engine();
+        let n = 40;
+        for id in 0..n {
+            e.submit(Request::new(id, 0.0, 200 + (id as usize % 7) * 50, 16 + (id as usize % 5)));
+        }
+        e.run_to_completion(200_000);
+        assert_eq!(e.completed().len(), n as usize);
+        let expected_decode: u64 =
+            e.completed().iter().map(|r| r.output_len as u64).sum();
+        let expected_prefill: u64 =
+            e.completed().iter().map(|r| r.prompt_len as u64).sum();
+        assert_eq!(e.total_decode_tokens(), expected_decode);
+        assert_eq!(e.total_prefill_tokens(), expected_prefill);
+        assert_eq!(e.kv().num_sequences(), 0);
+        assert_eq!(e.live_requests(), 0);
+    }
+
+    #[test]
+    fn time_advances_monotonically_across_steps() {
+        let mut e = a10g_engine();
+        for id in 0..5 {
+            e.submit(Request::new(id, 0.0, 300, 10));
+        }
+        let mut last = 0.0;
+        while !e.is_idle() {
+            let report = e.step();
+            assert!(report.duration > 0.0);
+            assert!(e.now() > last);
+            last = e.now();
+        }
+    }
+
+    #[test]
+    fn idle_engine_charges_idle_quantum() {
+        let mut e = a10g_engine();
+        let before = e.now();
+        let report = e.step();
+        assert!(report.idle);
+        assert!((e.now() - before - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_constrained_t4_offloads_to_cpu() {
+        // The T4 + LLaMa-2-7B setting from the paper: almost no GPU KV room, so a bursty
+        // batch must spill to the CPU cache.
+        let mut e = engine(Testbed::g4dn_4xlarge(), ModelDesc::llama2_7b());
+        for id in 0..64 {
+            e.submit(Request::new(id, 0.0, 300, 40));
+        }
+        let mut used_cpu = false;
+        let mut finished_iterations = 0;
+        while !e.is_idle() && finished_iterations < 100_000 {
+            let report = e.step();
+            if report.cpu_offloaded > 0 || report.swapped_out > 0 {
+                used_cpu = true;
+            }
+            finished_iterations += 1;
+        }
+        assert_eq!(e.completed().len(), 64);
+        assert!(used_cpu, "memory pressure on the T4 must trigger CPU offloading");
+    }
+
+    #[test]
+    fn duplicate_submission_panics() {
+        let mut e = a10g_engine();
+        e.submit(Request::new(1, 0.0, 10, 5));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.submit(Request::new(1, 0.0, 10, 5));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn advance_to_jumps_the_clock() {
+        let mut e = a10g_engine();
+        e.advance_to(5.0);
+        assert_eq!(e.now(), 5.0);
+        e.submit(Request::new(1, 5.0, 50, 4));
+        e.run_to_completion(10_000);
+        let r = &e.completed()[0];
+        assert!(r.finish_time.unwrap() > 5.0);
+        assert!(r.latency().unwrap() < 5.0, "latency measured from arrival, not from zero");
+    }
+
+    #[test]
+    fn per_token_latency_reasonable_on_a10g() {
+        // Sanity band: a lightly loaded A10G serving LLaMa-3.1-8B should produce tokens at
+        // tens of milliseconds each, not microseconds or minutes.
+        let mut e = a10g_engine();
+        e.submit(Request::new(1, 0.0, 500, 50));
+        e.run_to_completion(10_000);
+        let ptl = e.completed()[0].per_token_latency().unwrap();
+        assert!(ptl > 1e-3 && ptl < 1.0, "per-token latency {ptl}");
+    }
+
+    #[test]
+    fn debug_format_mentions_scheduler() {
+        let e = a10g_engine();
+        let s = format!("{e:?}");
+        assert!(s.contains("neo"));
+    }
+}

@@ -1,0 +1,554 @@
+//! The load-aware scheduler (§3.2 of the paper) and the scheduler interface.
+//!
+//! [`NeoScheduler`] follows the paper's six-step per-iteration procedure:
+//!
+//! 1. initialise two empty sub-batch schedules;
+//! 2. schedule GPU decode requests, swapping requests out (or in) so the GPU-cache can
+//!    hold all new KV entries (*Maximizing GPU*);
+//! 3. admit prefill requests from the waitqueue into batch-0 until the activation/token
+//!    budget is exhausted, keeping the generated KV on the GPU when it fits and marking it
+//!    for swap-out otherwise (*Maximizing GPU*);
+//! 4. place CPU decode requests into batch-0 or batch-1 while maintaining
+//!    `Tca0 ≤ Tl1 + Tga0` and `Tca1 ≤ Tl0` (*Balancing*, *Hiding CPU*);
+//! 5. shed prefill chunks that would force a swap-out, as long as the inequalities keep
+//!    holding (*Balancing*);
+//! 6. build the GPU-only alternative (batch-0 without the CPU decodes added in step 4) and
+//!    greedily pick whichever schedule has the higher estimated throughput (*Greedy*).
+//!
+//! The same [`Scheduler`] trait is implemented by the baselines in `neo-baselines`
+//! (vLLM-like, SwiftLLM-like, FastDecode+, and the strawmen), so every policy runs inside
+//! the identical engine.
+
+use std::collections::HashMap;
+
+use neo_kvcache::Device;
+use neo_sim::profiler::IterationCost;
+
+use crate::batch::{PrefillItem, ScheduleDecision, SubBatch};
+use crate::config::EngineConfig;
+use crate::pipeline::{estimate_asymmetric, estimate_gpu_only, stage_times};
+use crate::request::Request;
+use crate::ExecutionMode;
+
+/// Everything a scheduler may look at when forming one iteration's schedule.
+///
+/// Note that [`Request::output_len`] is ground truth the real system would not have; the
+/// provided schedulers never read it.
+pub struct ScheduleContext<'a> {
+    /// Cost model (typically the profiled/interpolated one) used for time estimates.
+    pub cost: &'a dyn IterationCost,
+    /// Engine configuration.
+    pub config: &'a EngineConfig,
+    /// All live requests by id.
+    pub requests: &'a HashMap<u64, Request>,
+    /// Prefill waitqueue (arrival order). Includes partially prefilled requests.
+    pub waiting: &'a [u64],
+    /// GPU decoding runqueue.
+    pub gpu_run: &'a [u64],
+    /// CPU decoding runqueue.
+    pub cpu_run: &'a [u64],
+    /// Free tokens in the GPU KV pool.
+    pub gpu_free_tokens: usize,
+    /// Free tokens in the CPU KV pool.
+    pub cpu_free_tokens: usize,
+    /// Device each partially-prefilled request's KV currently resides on (absent for
+    /// requests that have not started prefill).
+    pub prefill_device: &'a HashMap<u64, Device>,
+}
+
+impl ScheduleContext<'_> {
+    /// Current context length (cached tokens) of a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown; schedulers only receive ids present in `requests`.
+    pub fn context_len(&self, id: u64) -> usize {
+        self.requests[&id].context_len()
+    }
+
+    /// Remaining prompt tokens of a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn remaining_prefill(&self, id: u64) -> usize {
+        self.requests[&id].remaining_prefill()
+    }
+}
+
+/// A per-iteration scheduling policy.
+pub trait Scheduler: Send {
+    /// Produces the schedule for the next iteration.
+    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision;
+
+    /// Human-readable policy name (used in reports and figures).
+    fn name(&self) -> &'static str;
+}
+
+/// NEO's load-aware scheduler.
+#[derive(Debug, Default, Clone)]
+pub struct NeoScheduler {
+    iterations: u64,
+}
+
+impl NeoScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of schedules produced so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+}
+
+/// Internal helper: the balancing inequalities of step 4, with slack.
+fn balanced(
+    cost: &dyn IterationCost,
+    batch0: &SubBatch,
+    batch1: &SubBatch,
+    slack: f64,
+) -> bool {
+    let s0 = stage_times(cost, batch0);
+    let s1 = stage_times(cost, batch1);
+    let tol = 1.0 + slack;
+    s1.tca <= s0.tl * tol && s0.tca <= (s1.tl + s0.tga) * tol
+}
+
+impl Scheduler for NeoScheduler {
+    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
+        self.iterations += 1;
+        let cost = ctx.cost;
+        let cfg = ctx.config;
+
+        // Step 1: two empty schedules.
+        let mut batch0 = SubBatch::new();
+        let mut batch1 = SubBatch::new();
+        let mut swap_out: Vec<u64> = Vec::new();
+        let mut swap_in: Vec<u64> = Vec::new();
+        let mut preempt: Vec<u64> = Vec::new();
+
+        let gpu_capacity = ctx.gpu_free_tokens; // free tokens we may still claim
+        let mut gpu_free = gpu_capacity as i64;
+        let mut cpu_free = ctx.cpu_free_tokens as i64;
+
+        // Step 2: schedule GPU decode requests; each needs one new KV slot on the GPU.
+        let mut gpu_decodes: Vec<(u64, usize)> =
+            ctx.gpu_run.iter().map(|&id| (id, ctx.context_len(id))).collect();
+        gpu_free -= gpu_decodes.len() as i64;
+
+        if gpu_free < 0 {
+            // Swap out the longest-context requests until the new tokens fit; their KV
+            // moves to the CPU cache and they decode on the CPU this iteration.
+            gpu_decodes.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            while gpu_free < 0 {
+                let Some((id, c)) = gpu_decodes.first().copied() else { break };
+                if cpu_free < (c + 1) as i64 {
+                    // The CPU cache cannot hold it either: preempt the request entirely
+                    // (vLLM-style recompute later) so the rest of the batch can progress.
+                    gpu_decodes.remove(0);
+                    preempt.push(id);
+                    gpu_free += (c + 1) as i64;
+                    continue;
+                }
+                gpu_decodes.remove(0);
+                swap_out.push(id);
+                cpu_free -= (c + 1) as i64;
+                // Its block reservation (c tokens) and its new-token slot are returned.
+                gpu_free += (c + 1) as i64;
+            }
+        } else {
+            // Ample space: swap CPU-requests back to the GPU, smallest context first.
+            let watermark = (cfg.swap_in_watermark * gpu_capacity as f64) as i64;
+            if gpu_free > watermark {
+                let mut candidates: Vec<(u64, usize)> =
+                    ctx.cpu_run.iter().map(|&id| (id, ctx.context_len(id))).collect();
+                candidates.sort_by_key(|&(_, c)| c);
+                for (id, c) in candidates {
+                    if gpu_free - (c + 1) as i64 <= watermark {
+                        break;
+                    }
+                    swap_in.push(id);
+                    gpu_free -= (c + 1) as i64;
+                    cpu_free += c as i64;
+                }
+            }
+        }
+        // Swapped-out requests will decode from the CPU cache; swapped-in ones from GPU.
+        let swapped_out_set: Vec<u64> = swap_out.clone();
+        for &id in &swap_in {
+            gpu_decodes.push((id, ctx.context_len(id)));
+        }
+        batch0.gpu_decodes = gpu_decodes;
+
+        // Step 3: admit prefill requests into batch-0 under the token budget.
+        let mut token_budget =
+            cfg.max_batch_tokens.saturating_sub(batch0.linear_tokens());
+        for &id in ctx.waiting {
+            if token_budget == 0 || batch0.sequences() >= cfg.max_batch_seqs {
+                break;
+            }
+            let remaining = ctx.remaining_prefill(id);
+            if remaining == 0 {
+                continue;
+            }
+            let chunk = remaining.min(token_budget).min(cfg.prefill_chunk.max(1));
+            let already = ctx.requests[&id].prefilled;
+            let ctx_after = already + chunk;
+
+            // Keep the generated KV on the GPU when it fits, otherwise mark it for the
+            // CPU cache (layer-wise swap-out). Partially prefilled requests must stay on
+            // whichever device their earlier chunks landed on.
+            let target = match ctx.prefill_device.get(&id) {
+                Some(&d) => d,
+                None if gpu_free >= chunk as i64 => Device::Gpu,
+                None => Device::Cpu,
+            };
+            match target {
+                Device::Gpu => {
+                    if gpu_free < chunk as i64 {
+                        break; // no room to continue this request's GPU prefill
+                    }
+                    gpu_free -= chunk as i64;
+                }
+                Device::Cpu => {
+                    if cpu_free < chunk as i64 {
+                        break;
+                    }
+                    cpu_free -= chunk as i64;
+                }
+            }
+            batch0.prefills.push(PrefillItem { req: id, new_tokens: chunk, ctx_after, target });
+            token_budget -= chunk;
+        }
+
+        // Step 4: place CPU decode requests while the balancing inequalities hold.
+        let mut cpu_candidates: Vec<(u64, usize)> = ctx
+            .cpu_run
+            .iter()
+            .filter(|id| !swap_in.contains(id))
+            .map(|&id| (id, ctx.context_len(id)))
+            .collect();
+        cpu_candidates
+            .extend(swapped_out_set.iter().map(|&id| (id, ctx.context_len(id))));
+        cpu_candidates.sort_by_key(|&(_, c)| c);
+
+        let mut step4_batch0: Vec<u64> = Vec::new();
+        let mut step4_batch1: Vec<u64> = Vec::new();
+        // Degenerate case: nothing at all runs on the GPU this iteration (no prefills, no
+        // GPU decodes). The balancing inequalities would then forbid every CPU decode
+        // (`Tca ≤ Tl0 = 0`), starving CPU-resident requests forever; run them as a plain
+        // CPU batch instead — there is no GPU work to hide them behind anyway.
+        if batch0.is_empty() && !cpu_candidates.is_empty() {
+            for (id, c) in cpu_candidates.drain(..) {
+                if batch1.sequences() >= cfg.max_batch_seqs {
+                    break;
+                }
+                batch1.cpu_decodes.push((id, c));
+                step4_batch1.push(id);
+            }
+        }
+        for (id, c) in cpu_candidates {
+            if batch0.sequences() + batch1.sequences() >= 2 * cfg.max_batch_seqs {
+                break;
+            }
+            // Try batch-1 first (it exists to absorb CPU attention under Tl0's shadow).
+            batch1.cpu_decodes.push((id, c));
+            if balanced(cost, &batch0, &batch1, cfg.balance_slack) {
+                step4_batch1.push(id);
+                continue;
+            }
+            batch1.cpu_decodes.pop();
+
+            batch0.cpu_decodes.push((id, c));
+            if balanced(cost, &batch0, &batch1, cfg.balance_slack) {
+                step4_batch0.push(id);
+                continue;
+            }
+            batch0.cpu_decodes.pop();
+            // Violates both inequalities: leave it for the next iteration (Hiding CPU).
+        }
+
+        // Step 5: shed prefill chunks that force swap-outs while balance still holds.
+        // Only applies when there is CPU attention to balance against — if no CPU decodes
+        // are scheduled, a CPU-targeted prefill is the only way the request can make
+        // progress under GPU memory pressure and must not be shed (otherwise it would
+        // starve forever).
+        let has_cpu_work = !batch0.cpu_decodes.is_empty() || !batch1.cpu_decodes.is_empty();
+        while has_cpu_work {
+            let Some(pos) = batch0.prefills.iter().rposition(|p| p.target == Device::Cpu) else {
+                break;
+            };
+            let removed = batch0.prefills.remove(pos);
+            if balanced(cost, &batch0, &batch1, cfg.balance_slack) {
+                continue; // removal kept the pipeline balanced; keep it removed
+            }
+            // Removing it unbalanced the pipeline (the CPU work no longer hides behind the
+            // linear stage): put it back and stop shedding.
+            batch0.prefills.insert(pos, removed);
+            break;
+        }
+
+        // Step 6: greedy choice between asymmetric and GPU-only schedules.
+        let swap_out_tokens: usize = swap_out.iter().map(|&id| ctx.context_len(id)).sum();
+        let swap_in_tokens: usize = swap_in.iter().map(|&id| ctx.context_len(id)).sum();
+
+        let asym = ScheduleDecision {
+            mode: ExecutionMode::Asymmetric,
+            batch0: batch0.clone(),
+            batch1: batch1.clone(),
+            swap_out: swap_out.clone(),
+            swap_in: swap_in.clone(),
+            preempt: preempt.clone(),
+        };
+        let asym_est = estimate_asymmetric(
+            cost,
+            &asym,
+            swap_out_tokens,
+            swap_in_tokens,
+            cfg.layerwise_swap_overlap,
+        );
+
+        // GPU-only alternative: batch-0 without the CPU decodes added in step 4.
+        let mut gpu_only_batch0 = batch0.clone();
+        gpu_only_batch0.cpu_decodes.clear();
+        let gpu_only = ScheduleDecision {
+            mode: ExecutionMode::GpuOnly,
+            batch0: gpu_only_batch0,
+            batch1: SubBatch::new(),
+            swap_out,
+            swap_in,
+            preempt,
+        };
+        let gpu_est = estimate_gpu_only(
+            cost,
+            &gpu_only.batch0,
+            swap_out_tokens,
+            swap_in_tokens,
+            cfg.layerwise_swap_overlap,
+        );
+
+        let decision =
+            if asym_est.throughput() > gpu_est.throughput() { asym } else { gpu_only };
+        if decision.is_idle() {
+            ScheduleDecision::idle()
+        } else {
+            decision
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "neo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_sim::{CostModel, ModelDesc, Testbed};
+
+    fn cost() -> CostModel {
+        CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1)
+    }
+
+    struct Fixture {
+        requests: HashMap<u64, Request>,
+        waiting: Vec<u64>,
+        gpu_run: Vec<u64>,
+        cpu_run: Vec<u64>,
+        prefill_device: HashMap<u64, Device>,
+        gpu_free: usize,
+        cpu_free: usize,
+        config: EngineConfig,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Self {
+                requests: HashMap::new(),
+                waiting: vec![],
+                gpu_run: vec![],
+                cpu_run: vec![],
+                prefill_device: HashMap::new(),
+                gpu_free: 20_000,
+                cpu_free: 200_000,
+                config: EngineConfig::default(),
+            }
+        }
+
+        fn add_waiting(&mut self, id: u64, prompt: usize) {
+            self.requests.insert(id, Request::new(id, 0.0, prompt, 64));
+            self.waiting.push(id);
+        }
+
+        fn add_running(&mut self, id: u64, ctx: usize, device: Device) {
+            let mut r = Request::new(id, 0.0, ctx.max(1), 64);
+            r.advance_prefill(r.prompt_len);
+            self.requests.insert(id, r);
+            match device {
+                Device::Gpu => self.gpu_run.push(id),
+                Device::Cpu => self.cpu_run.push(id),
+            }
+        }
+
+        fn schedule(&self, cost: &CostModel) -> ScheduleDecision {
+            let ctx = ScheduleContext {
+                cost,
+                config: &self.config,
+                requests: &self.requests,
+                waiting: &self.waiting,
+                gpu_run: &self.gpu_run,
+                cpu_run: &self.cpu_run,
+                gpu_free_tokens: self.gpu_free,
+                cpu_free_tokens: self.cpu_free,
+                prefill_device: &self.prefill_device,
+            };
+            NeoScheduler::new().schedule(&ctx)
+        }
+    }
+
+    #[test]
+    fn empty_system_yields_idle_decision() {
+        let fx = Fixture::new();
+        let d = fx.schedule(&cost());
+        assert!(d.is_idle());
+    }
+
+    #[test]
+    fn waiting_requests_are_prefilled() {
+        let mut fx = Fixture::new();
+        fx.add_waiting(1, 300);
+        fx.add_waiting(2, 400);
+        let d = fx.schedule(&cost());
+        let prefilled: Vec<u64> = d.batch0.prefills.iter().map(|p| p.req).collect();
+        assert!(prefilled.contains(&1) && prefilled.contains(&2));
+        // Plenty of GPU memory: both target the GPU, no swaps.
+        assert!(d.batch0.prefills.iter().all(|p| p.target == Device::Gpu));
+        assert!(d.swap_out.is_empty());
+    }
+
+    #[test]
+    fn prefill_respects_token_budget() {
+        let mut fx = Fixture::new();
+        fx.config.max_batch_tokens = 512;
+        fx.config.prefill_chunk = 512;
+        for id in 0..10 {
+            fx.add_waiting(id, 400);
+        }
+        let d = fx.schedule(&cost());
+        assert!(d.batch0.linear_tokens() <= 512, "budget exceeded: {}", d.batch0.linear_tokens());
+    }
+
+    #[test]
+    fn gpu_decodes_all_scheduled_when_memory_allows() {
+        let mut fx = Fixture::new();
+        for id in 0..50 {
+            fx.add_running(id, 500, Device::Gpu);
+        }
+        let d = fx.schedule(&cost());
+        assert_eq!(d.batch0.gpu_decodes.len(), 50);
+        assert!(d.swap_out.is_empty());
+    }
+
+    #[test]
+    fn gpu_memory_pressure_triggers_swap_out() {
+        let mut fx = Fixture::new();
+        fx.gpu_free = 10; // almost no room for new KV slots
+        for id in 0..50 {
+            fx.add_running(id, 500, Device::Gpu);
+        }
+        let d = fx.schedule(&cost());
+        assert!(!d.swap_out.is_empty(), "must shed some GPU requests");
+        // Shed requests either decode from the CPU cache this iteration or idle, but they
+        // are never still counted as GPU decodes.
+        for id in &d.swap_out {
+            assert!(!d.batch0.gpu_decodes.iter().any(|&(i, _)| i == *id));
+        }
+    }
+
+    #[test]
+    fn ample_gpu_memory_triggers_swap_in() {
+        let mut fx = Fixture::new();
+        fx.gpu_free = 50_000;
+        for id in 0..5 {
+            fx.add_running(id, 300, Device::Cpu);
+        }
+        let d = fx.schedule(&cost());
+        assert!(!d.swap_in.is_empty(), "idle GPU memory should pull CPU requests back");
+    }
+
+    #[test]
+    fn cpu_decodes_are_balanced_against_linear_stage() {
+        let mut fx = Fixture::new();
+        // A healthy GPU batch providing a long linear stage...
+        for id in 0..40 {
+            fx.add_running(id, 800, Device::Gpu);
+        }
+        fx.add_waiting(1000, 1500);
+        // ...and many CPU-resident requests; only some can hide under the linear stage.
+        for id in 100..400 {
+            fx.add_running(id, 800, Device::Cpu);
+        }
+        let d = fx.schedule(&cost());
+        assert_eq!(d.mode, ExecutionMode::Asymmetric);
+        let scheduled_cpu = d.batch0.cpu_decodes.len() + d.batch1.cpu_decodes.len();
+        assert!(scheduled_cpu > 0, "some CPU requests must be scheduled");
+        assert!(scheduled_cpu < 300, "not all CPU requests can hide under the GPU stage");
+        // The balancing inequalities hold for the emitted schedule.
+        let cm = cost();
+        let s0 = stage_times(&cm, &d.batch0);
+        let s1 = stage_times(&cm, &d.batch1);
+        let tol = 1.0 + fx.config.balance_slack + 0.05;
+        assert!(s1.tca <= s0.tl * tol, "Tca1 {} vs Tl0 {}", s1.tca, s0.tl);
+        assert!(s0.tca <= (s1.tl + s0.tga) * tol, "Tca0 {} vs Tl1+Tga0 {}", s0.tca, s1.tl + s0.tga);
+    }
+
+    #[test]
+    fn greedy_never_picks_worse_than_gpu_only() {
+        // With no CPU work at all, the decision must effectively be the GPU-only batch.
+        let mut fx = Fixture::new();
+        for id in 0..20 {
+            fx.add_running(id, 400, Device::Gpu);
+        }
+        let d = fx.schedule(&cost());
+        assert!(d.batch1.cpu_decodes.is_empty());
+        assert!(d.batch0.cpu_decodes.is_empty());
+    }
+
+    #[test]
+    fn scheduler_reports_name_and_counts_iterations() {
+        let mut s = NeoScheduler::new();
+        assert_eq!(s.name(), "neo");
+        let fx = Fixture::new();
+        let ctx = ScheduleContext {
+            cost: &cost(),
+            config: &fx.config,
+            requests: &fx.requests,
+            waiting: &fx.waiting,
+            gpu_run: &fx.gpu_run,
+            cpu_run: &fx.cpu_run,
+            gpu_free_tokens: fx.gpu_free,
+            cpu_free_tokens: fx.cpu_free,
+            prefill_device: &fx.prefill_device,
+        };
+        let _ = s.schedule(&ctx);
+        let _ = s.schedule(&ctx);
+        assert_eq!(s.iterations(), 2);
+    }
+
+    #[test]
+    fn partially_prefilled_request_stays_on_its_device() {
+        let mut fx = Fixture::new();
+        fx.config.prefill_chunk = 128;
+        let mut r = Request::new(7, 0.0, 600, 32);
+        r.advance_prefill(128);
+        fx.requests.insert(7, r);
+        fx.waiting.push(7);
+        fx.prefill_device.insert(7, Device::Cpu);
+        let d = fx.schedule(&cost());
+        let item = d.batch0.prefills.iter().find(|p| p.req == 7).expect("request scheduled");
+        assert_eq!(item.target, Device::Cpu);
+        assert_eq!(item.ctx_after, 128 + item.new_tokens);
+    }
+}

@@ -1,0 +1,119 @@
+//! Functional CPU attention kernels for the NEO reproduction.
+//!
+//! The original system implements "Paged-Attention-for-CPU" (PACPU), a C++/ISPC torch
+//! extension that runs decoding attention over a paged KV cache on the host CPU, using a
+//! Flash-Decoding-style partitioning of each request's context across cores (§4 of the
+//! paper). This crate is the Rust equivalent:
+//!
+//! * [`decode`] — paged, grouped-query decode attention. Each request's cached context is
+//!   split into block-aligned partitions; partitions are processed in parallel (rayon) with
+//!   an online-softmax accumulator and then merged, exactly like Flash Decoding.
+//! * [`prefill`] — causal (chunked) prefill attention over the paged cache, used by the
+//!   functional model for the GPU-side sub-batch.
+//! * [`softmax`] — numerically stable softmax and the online-softmax merge primitive.
+//! * [`rope`] — rotary position embeddings applied to Q/K before caching.
+//! * [`reference`] — slow, obviously-correct dense attention used by the test suite to
+//!   validate every kernel.
+//!
+//! The kernels operate on `f32` slices laid out `[token, head, head_dim]` and read the KV
+//! cache through [`neo_kvcache::PagedStorage`] + [`neo_kvcache::BlockTable`], i.e. the same
+//! data structures the serving engine maintains.
+//!
+//! # Example
+//!
+//! ```
+//! use neo_kernels::{AttentionConfig, decode::paged_decode_attention};
+//! use neo_kvcache::{BlockTable, PagedStorage};
+//!
+//! let cfg = AttentionConfig::new(4, 2, 8);
+//! let mut storage = PagedStorage::new(8, 4, 2, 8);
+//! let mut table = BlockTable::new(4);
+//! table.append(3, vec![0]).unwrap();
+//! // Write 3 cached tokens.
+//! for i in 0..3 {
+//!     let kv = vec![0.1 * i as f32; 16];
+//!     let (b, s) = table.locate(i).unwrap();
+//!     storage.write_token(b, s, &kv, &kv).unwrap();
+//! }
+//! let q = vec![0.5_f32; 32]; // one sequence, 4 heads x 8 dims
+//! let mut out = vec![0.0_f32; 32];
+//! paged_decode_attention(&q, &storage, &[&table], &[3], &cfg, &mut out);
+//! assert!(out.iter().all(|x| x.is_finite()));
+//! ```
+
+pub mod decode;
+pub mod prefill;
+pub mod reference;
+pub mod rope;
+pub mod softmax;
+
+/// Shape parameters shared by all attention kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttentionConfig {
+    /// Number of query heads.
+    pub n_heads: usize,
+    /// Number of KV heads (`n_heads` must be a multiple of this; GQA groups
+    /// `n_heads / n_kv_heads` query heads per KV head).
+    pub n_kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// Softmax scale, normally `1 / sqrt(head_dim)`.
+    pub scale: f32,
+}
+
+impl AttentionConfig {
+    /// Creates a config with the default `1/sqrt(head_dim)` scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_heads` is not a positive multiple of `n_kv_heads`, or `head_dim` is 0.
+    pub fn new(n_heads: usize, n_kv_heads: usize, head_dim: usize) -> Self {
+        assert!(n_heads > 0 && n_kv_heads > 0 && head_dim > 0, "dimensions must be positive");
+        assert!(
+            n_heads % n_kv_heads == 0,
+            "query heads ({n_heads}) must be a multiple of KV heads ({n_kv_heads})"
+        );
+        Self { n_heads, n_kv_heads, head_dim, scale: 1.0 / (head_dim as f32).sqrt() }
+    }
+
+    /// Number of query heads sharing each KV head.
+    pub fn group_size(&self) -> usize {
+        self.n_heads / self.n_kv_heads
+    }
+
+    /// Elements in one token's query/output row (`n_heads * head_dim`).
+    pub fn q_stride(&self) -> usize {
+        self.n_heads * self.head_dim
+    }
+
+    /// Elements in one token's K or V row (`n_kv_heads * head_dim`).
+    pub fn kv_stride(&self) -> usize {
+        self.n_kv_heads * self.head_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_derives_strides_and_groups() {
+        let c = AttentionConfig::new(8, 2, 16);
+        assert_eq!(c.group_size(), 4);
+        assert_eq!(c.q_stride(), 128);
+        assert_eq!(c.kv_stride(), 32);
+        assert!((c.scale - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn non_divisible_heads_panic() {
+        let _ = AttentionConfig::new(6, 4, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _ = AttentionConfig::new(4, 2, 0);
+    }
+}

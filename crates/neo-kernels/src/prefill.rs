@@ -1,0 +1,174 @@
+//! Causal prefill attention over the paged cache.
+//!
+//! During prefill (and chunked prefill), a contiguous run of `n_new` new tokens of one
+//! request attends causally over the request's full context so far (earlier cached tokens
+//! plus the new ones, whose K/V entries have already been written into the paged cache by
+//! the model). In NEO this always runs on the GPU sub-batch; in the functional model it is
+//! the kernel that produces the prefill attention output.
+
+use neo_kvcache::{BlockTable, PagedStorage};
+use rayon::prelude::*;
+
+use crate::softmax::OnlineSoftmax;
+use crate::AttentionConfig;
+
+/// Causal prefill attention for one sequence.
+///
+/// * `q` — `[n_new, n_heads, head_dim]` queries of the new tokens (RoPE already applied).
+/// * `storage` / `table` — the paged cache holding all `ctx_len` tokens of the sequence,
+///   including the `n_new` new ones (written before calling this kernel).
+/// * `ctx_len` — total tokens of the sequence after this chunk (cached + new).
+/// * `out` — `[n_new, n_heads, head_dim]`.
+///
+/// New token `i` (global position `ctx_len - n_new + i`) attends to positions
+/// `0..=ctx_len - n_new + i`.
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent, `n_new > ctx_len`, or the block table holds
+/// fewer than `ctx_len` tokens.
+pub fn paged_prefill_attention(
+    q: &[f32],
+    storage: &PagedStorage,
+    table: &BlockTable,
+    ctx_len: usize,
+    n_new: usize,
+    cfg: &AttentionConfig,
+    out: &mut [f32],
+) {
+    assert!(n_new <= ctx_len, "new tokens ({n_new}) exceed total context ({ctx_len})");
+    assert_eq!(q.len(), n_new * cfg.q_stride(), "query buffer has wrong length");
+    assert_eq!(out.len(), n_new * cfg.q_stride(), "output buffer has wrong length");
+    assert!(
+        table.num_tokens() >= ctx_len,
+        "block table holds {} tokens but context is {ctx_len}",
+        table.num_tokens()
+    );
+
+    let hd = cfg.head_dim;
+    let group = cfg.group_size();
+    let first_pos = ctx_len - n_new;
+
+    // Parallelise over query tokens: each output row only depends on its own causal prefix.
+    out.par_chunks_mut(cfg.q_stride()).enumerate().for_each(|(qi, out_row)| {
+        let visible = first_pos + qi + 1;
+        let q_row = &q[qi * cfg.q_stride()..(qi + 1) * cfg.q_stride()];
+        let mut accs: Vec<OnlineSoftmax> = (0..cfg.n_heads).map(|_| OnlineSoftmax::new(hd)).collect();
+        for tok in 0..visible {
+            let (block, slot) = table.locate(tok).expect("context within block table");
+            let k_row = storage.read_k(block, slot).expect("block table points into storage");
+            let v_row = storage.read_v(block, slot).expect("block table points into storage");
+            for h in 0..cfg.n_heads {
+                let kv_h = h / group;
+                let q_vec = &q_row[h * hd..(h + 1) * hd];
+                let k_vec = &k_row[kv_h * hd..(kv_h + 1) * hd];
+                let v_vec = &v_row[kv_h * hd..(kv_h + 1) * hd];
+                let score: f32 =
+                    q_vec.iter().zip(k_vec).map(|(a, b)| a * b).sum::<f32>() * cfg.scale;
+                accs[h].push(score, v_vec);
+            }
+        }
+        for (h, acc) in accs.iter().enumerate() {
+            acc.finish(&mut out_row[h * hd..(h + 1) * hd]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::dense_attention;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    struct Fixture {
+        storage: PagedStorage,
+        table: BlockTable,
+        dense_k: Vec<f32>,
+        dense_v: Vec<f32>,
+    }
+
+    fn build_fixture(ctx_len: usize, cfg: &AttentionConfig, seed: u64) -> Fixture {
+        let block_size = 4;
+        let blocks = ctx_len.div_ceil(block_size).max(1);
+        let mut storage = PagedStorage::new(blocks, block_size, cfg.n_kv_heads, cfg.head_dim);
+        let mut table = BlockTable::new(block_size);
+        table.append(ctx_len, (0..blocks).collect::<Vec<_>>()[..ctx_len.div_ceil(block_size)].to_vec()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dense_k = Vec::new();
+        let mut dense_v = Vec::new();
+        for i in 0..ctx_len {
+            let k: Vec<f32> = (0..cfg.kv_stride()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let v: Vec<f32> = (0..cfg.kv_stride()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let (b, s) = table.locate(i).unwrap();
+            storage.write_token(b, s, &k, &v).unwrap();
+            dense_k.extend_from_slice(&k);
+            dense_v.extend_from_slice(&v);
+        }
+        Fixture { storage, table, dense_k, dense_v }
+    }
+
+    fn check(ctx_len: usize, n_new: usize, cfg: &AttentionConfig, seed: u64) {
+        let fx = build_fixture(ctx_len, cfg, seed);
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let q: Vec<f32> = (0..n_new * cfg.q_stride()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut out = vec![0.0f32; n_new * cfg.q_stride()];
+        paged_prefill_attention(&q, &fx.storage, &fx.table, ctx_len, n_new, cfg, &mut out);
+
+        let mut expected = vec![0.0f32; n_new * cfg.q_stride()];
+        dense_attention(
+            &q,
+            &fx.dense_k,
+            &fx.dense_v,
+            n_new,
+            ctx_len,
+            cfg,
+            Some(ctx_len - n_new),
+            &mut expected,
+        );
+        for (a, b) in out.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn full_prefill_matches_reference() {
+        check(24, 24, &AttentionConfig::new(4, 2, 8), 10);
+    }
+
+    #[test]
+    fn chunked_prefill_with_prior_context_matches_reference() {
+        // 40 cached tokens, last 16 are the new chunk.
+        check(40, 16, &AttentionConfig::new(4, 4, 8), 11);
+    }
+
+    #[test]
+    fn single_new_token_equals_decode_semantics() {
+        check(31, 1, &AttentionConfig::new(8, 2, 16), 12);
+    }
+
+    #[test]
+    fn longer_context_than_block_multiple() {
+        check(37, 37, &AttentionConfig::new(2, 1, 4), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed total context")]
+    fn too_many_new_tokens_panics() {
+        let cfg = AttentionConfig::new(2, 2, 4);
+        let fx = build_fixture(4, &cfg, 14);
+        let q = vec![0.0f32; 8 * cfg.q_stride()];
+        let mut out = vec![0.0f32; 8 * cfg.q_stride()];
+        paged_prefill_attention(&q, &fx.storage, &fx.table, 4, 8, &cfg, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "block table holds")]
+    fn short_block_table_panics() {
+        let cfg = AttentionConfig::new(2, 2, 4);
+        let fx = build_fixture(4, &cfg, 15);
+        let q = vec![0.0f32; cfg.q_stride()];
+        let mut out = vec![0.0f32; cfg.q_stride()];
+        paged_prefill_attention(&q, &fx.storage, &fx.table, 10, 1, &cfg, &mut out);
+    }
+}

@@ -1,0 +1,144 @@
+//! Slow, obviously-correct dense attention used to validate the paged kernels.
+//!
+//! The reference operates on contiguous `[token, head, head_dim]` buffers (no paging) and
+//! materialises the full score matrix. Every paged kernel in this crate is tested against
+//! it, including grouped-query configurations and causal masking.
+
+use crate::softmax::softmax_inplace;
+use crate::AttentionConfig;
+
+/// Dense (non-paged) multi-head attention with optional causal masking.
+///
+/// * `q` is `[n_q, n_heads, head_dim]`, `k`/`v` are `[n_kv, n_kv_heads, head_dim]`.
+/// * When `causal_offset` is `Some(off)`, query `i` may only attend to key positions
+///   `j <= off + i` (decode uses `off = n_kv - 1` with `n_q = 1`; prefill of a suffix of
+///   new tokens uses `off = n_kv - n_q`).
+/// * The result is written to `out`, `[n_q, n_heads, head_dim]`.
+///
+/// # Panics
+///
+/// Panics if any buffer length is inconsistent with the shape arguments.
+pub fn dense_attention(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n_q: usize,
+    n_kv: usize,
+    cfg: &AttentionConfig,
+    causal_offset: Option<usize>,
+    out: &mut [f32],
+) {
+    assert_eq!(q.len(), n_q * cfg.q_stride(), "q buffer has wrong length");
+    assert_eq!(k.len(), n_kv * cfg.kv_stride(), "k buffer has wrong length");
+    assert_eq!(v.len(), n_kv * cfg.kv_stride(), "v buffer has wrong length");
+    assert_eq!(out.len(), n_q * cfg.q_stride(), "out buffer has wrong length");
+
+    let hd = cfg.head_dim;
+    let group = cfg.group_size();
+
+    for qi in 0..n_q {
+        let visible = match causal_offset {
+            Some(off) => (off + qi + 1).min(n_kv),
+            None => n_kv,
+        };
+        for h in 0..cfg.n_heads {
+            let kv_h = h / group;
+            let q_vec = &q[qi * cfg.q_stride() + h * hd..qi * cfg.q_stride() + (h + 1) * hd];
+            let mut scores = vec![f32::NEG_INFINITY; n_kv];
+            for (ki, score) in scores.iter_mut().enumerate().take(visible) {
+                let k_vec =
+                    &k[ki * cfg.kv_stride() + kv_h * hd..ki * cfg.kv_stride() + (kv_h + 1) * hd];
+                let dot: f32 = q_vec.iter().zip(k_vec).map(|(a, b)| a * b).sum();
+                *score = dot * cfg.scale;
+            }
+            softmax_inplace(&mut scores);
+            let out_vec = &mut out
+                [qi * cfg.q_stride() + h * hd..qi * cfg.q_stride() + (h + 1) * hd];
+            out_vec.iter_mut().for_each(|o| *o = 0.0);
+            for (ki, &w) in scores.iter().enumerate().take(visible) {
+                let v_vec =
+                    &v[ki * cfg.kv_stride() + kv_h * hd..ki * cfg.kv_stride() + (kv_h + 1) * hd];
+                for (o, &x) in out_vec.iter_mut().zip(v_vec) {
+                    *o += w * x;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig::new(2, 1, 4)
+    }
+
+    #[test]
+    fn single_key_returns_its_value() {
+        let c = cfg();
+        let q = vec![1.0f32; c.q_stride()];
+        let k = vec![0.5f32; c.kv_stride()];
+        let v: Vec<f32> = (0..c.kv_stride()).map(|i| i as f32).collect();
+        let mut out = vec![0.0f32; c.q_stride()];
+        dense_attention(&q, &k, &v, 1, 1, &c, None, &mut out);
+        // With a single key, softmax weight is 1 and the output equals V (per KV head,
+        // repeated for each query head in the group).
+        assert_eq!(&out[0..4], &v[0..4]);
+        assert_eq!(&out[4..8], &v[0..4]);
+    }
+
+    #[test]
+    fn uniform_keys_average_values() {
+        let c = AttentionConfig::new(1, 1, 2);
+        let q = vec![0.0f32; 2]; // zero query => uniform weights
+        let k = vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5];
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = vec![0.0f32; 2];
+        dense_attention(&q, &k, &v, 1, 3, &c, None, &mut out);
+        assert!((out[0] - 3.0).abs() < 1e-5);
+        assert!((out[1] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn causal_mask_hides_future_tokens() {
+        let c = AttentionConfig::new(1, 1, 2);
+        // 2 queries over 2 keys with causal offset 0: query 0 sees key 0 only.
+        let q = vec![1.0f32, 0.0, 1.0, 0.0];
+        let k = vec![1.0, 0.0, 1.0, 0.0];
+        let v = vec![10.0, 0.0, 20.0, 0.0];
+        let mut out = vec![0.0f32; 4];
+        dense_attention(&q, &k, &v, 2, 2, &c, Some(0), &mut out);
+        assert!((out[0] - 10.0).abs() < 1e-5, "first query must only see first value");
+        // Second query sees both (equal scores => average).
+        assert!((out[2] - 15.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gqa_heads_share_kv() {
+        let c = AttentionConfig::new(4, 2, 2);
+        let n_kv = 3;
+        let q: Vec<f32> = (0..c.q_stride()).map(|i| (i as f32 * 0.1).sin()).collect();
+        let k: Vec<f32> = (0..n_kv * c.kv_stride()).map(|i| (i as f32 * 0.2).cos()).collect();
+        let v: Vec<f32> = (0..n_kv * c.kv_stride()).map(|i| i as f32 * 0.05).collect();
+        let mut out = vec![0.0f32; c.q_stride()];
+        dense_attention(&q, &k, &v, 1, n_kv, &c, None, &mut out);
+        // Query heads 0,1 use kv head 0; heads 2,3 use kv head 1. If q head 0 == q head 1
+        // the outputs must match. Here they differ, so just sanity-check finiteness and
+        // that a duplicated query gives identical outputs.
+        let mut q2 = q.clone();
+        q2.copy_within(0..2, 2); // make head 1 identical to head 0
+        let mut out2 = vec![0.0f32; c.q_stride()];
+        dense_attention(&q2, &k, &v, 1, n_kv, &c, None, &mut out2);
+        assert_eq!(&out2[0..2], &out2[2..4]);
+        assert!(out.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn inconsistent_shapes_panic() {
+        let c = cfg();
+        let mut out = vec![0.0f32; c.q_stride()];
+        dense_attention(&[0.0; 4], &[0.0; 4], &[0.0; 4], 1, 1, &c, None, &mut out);
+    }
+}

@@ -1,0 +1,134 @@
+//! Rotary position embeddings (RoPE).
+//!
+//! LLaMa-family models rotate pairs of query/key dimensions by a position-dependent angle
+//! before attention. The functional model applies RoPE to Q and K right after the QKV
+//! projection and *before* the K vector is written into the paged cache, so the attention
+//! kernels themselves never need to know token positions.
+
+/// Precomputed inverse frequencies for a head dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RopeTable {
+    head_dim: usize,
+    inv_freq: Vec<f32>,
+}
+
+impl RopeTable {
+    /// Builds the standard RoPE frequency table with base `theta` (LLaMa uses 10000, the
+    /// 3.1 series uses 500000; the numerics are identical for our purposes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is zero or odd.
+    pub fn new(head_dim: usize, theta: f32) -> Self {
+        assert!(head_dim > 0 && head_dim % 2 == 0, "head_dim must be a positive even number");
+        let half = head_dim / 2;
+        let inv_freq =
+            (0..half).map(|i| 1.0 / theta.powf(2.0 * i as f32 / head_dim as f32)).collect();
+        Self { head_dim, inv_freq }
+    }
+
+    /// Head dimension this table was built for.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Applies the rotation for `position` in place to one head vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != head_dim`.
+    pub fn apply(&self, x: &mut [f32], position: usize) {
+        assert_eq!(x.len(), self.head_dim, "vector length must equal head_dim");
+        let half = self.head_dim / 2;
+        for i in 0..half {
+            let angle = position as f32 * self.inv_freq[i];
+            let (sin, cos) = angle.sin_cos();
+            let (a, b) = (x[i], x[i + half]);
+            x[i] = a * cos - b * sin;
+            x[i + half] = a * sin + b * cos;
+        }
+    }
+
+    /// Applies the rotation to every head in a `[n_heads * head_dim]` row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length is not a multiple of `head_dim`.
+    pub fn apply_row(&self, row: &mut [f32], position: usize) {
+        assert!(row.len() % self.head_dim == 0, "row must contain whole heads");
+        for head in row.chunks_mut(self.head_dim) {
+            self.apply(head, position);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let table = RopeTable::new(8, 10000.0);
+        let original: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
+        for pos in [0usize, 1, 17, 500] {
+            let mut x = original.clone();
+            table.apply(&mut x, pos);
+            let n0: f32 = original.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let n1: f32 = x.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n0 - n1).abs() < 1e-4, "norm changed at pos {pos}");
+        }
+    }
+
+    #[test]
+    fn position_zero_is_identity() {
+        let table = RopeTable::new(4, 10000.0);
+        let mut x = vec![1.0f32, 2.0, 3.0, 4.0];
+        table.apply(&mut x, 0);
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn relative_position_property() {
+        // The inner product of rotated q (at pos m) and rotated k (at pos n) depends only
+        // on m - n. Check two pairs with the same offset.
+        let table = RopeTable::new(16, 10000.0);
+        let q: Vec<f32> = (0..16).map(|i| (i as f32 * 0.17).sin()).collect();
+        let k: Vec<f32> = (0..16).map(|i| (i as f32 * 0.31).cos()).collect();
+        let dot = |a: &[f32], b: &[f32]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>();
+
+        let rotated_dot = |qpos: usize, kpos: usize| {
+            let mut qr = q.clone();
+            let mut kr = k.clone();
+            table.apply(&mut qr, qpos);
+            table.apply(&mut kr, kpos);
+            dot(&qr, &kr)
+        };
+        assert!((rotated_dot(10, 3) - rotated_dot(27, 20)).abs() < 1e-3);
+        assert!((rotated_dot(5, 5) - rotated_dot(100, 100)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_row_rotates_each_head_independently() {
+        let table = RopeTable::new(4, 10000.0);
+        let mut row = vec![1.0f32, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let mut single = vec![1.0f32, 0.0, 0.0, 0.0];
+        table.apply_row(&mut row, 7);
+        table.apply(&mut single, 7);
+        assert_eq!(&row[0..4], &single[..]);
+        assert_eq!(&row[4..8], &single[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_head_dim_panics() {
+        let _ = RopeTable::new(7, 10000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "head_dim")]
+    fn wrong_vector_length_panics() {
+        let table = RopeTable::new(8, 10000.0);
+        let mut x = vec![0.0f32; 4];
+        table.apply(&mut x, 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Numerically stable softmax and online-softmax merging.
+//!
+//! The partitioned decode kernel computes attention over disjoint chunks of the context in
+//! parallel. Each chunk produces a partial result described by the running maximum `m`,
+//! the running denominator `l = Σ exp(score - m)` and the un-normalised weighted value
+//! accumulator; [`OnlineSoftmax::merge`] combines two such partials into one, which is the
+//! same rescaling trick FlashAttention / Flash-Decoding use.
+
+/// In-place numerically stable softmax over `scores`.
+///
+/// Empty input is a no-op. All-`-inf` rows produce a uniform distribution of zeros
+/// (callers mask fully-masked rows themselves).
+pub fn softmax_inplace(scores: &mut [f32]) {
+    if scores.is_empty() {
+        return;
+    }
+    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        scores.iter_mut().for_each(|s| *s = 0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    if sum > 0.0 {
+        scores.iter_mut().for_each(|s| *s /= sum);
+    }
+}
+
+/// Running (max, denominator, weighted-value) accumulator for one attention head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineSoftmax {
+    /// Running maximum of the attention scores seen so far.
+    pub max: f32,
+    /// Running denominator `Σ exp(score - max)`.
+    pub denom: f32,
+    /// Un-normalised accumulated output `Σ exp(score - max) * v`, one entry per value dim.
+    pub acc: Vec<f32>,
+}
+
+impl OnlineSoftmax {
+    /// Creates an empty accumulator for a `head_dim`-dimensional value.
+    pub fn new(head_dim: usize) -> Self {
+        Self { max: f32::NEG_INFINITY, denom: 0.0, acc: vec![0.0; head_dim] }
+    }
+
+    /// Folds one `(score, value)` pair into the accumulator.
+    pub fn push(&mut self, score: f32, value: &[f32]) {
+        debug_assert_eq!(value.len(), self.acc.len());
+        if score == f32::NEG_INFINITY {
+            return;
+        }
+        if score <= self.max {
+            let w = (score - self.max).exp();
+            self.denom += w;
+            for (a, &v) in self.acc.iter_mut().zip(value) {
+                *a += w * v;
+            }
+        } else {
+            // New maximum: rescale the existing accumulator.
+            let scale = if self.max == f32::NEG_INFINITY { 0.0 } else { (self.max - score).exp() };
+            self.denom = self.denom * scale + 1.0;
+            for (a, &v) in self.acc.iter_mut().zip(value) {
+                *a = *a * scale + v;
+            }
+            self.max = score;
+        }
+    }
+
+    /// Merges another accumulator (over a disjoint chunk of keys) into this one.
+    pub fn merge(&mut self, other: &OnlineSoftmax) {
+        debug_assert_eq!(other.acc.len(), self.acc.len());
+        if other.denom == 0.0 {
+            return;
+        }
+        if self.denom == 0.0 {
+            self.max = other.max;
+            self.denom = other.denom;
+            self.acc.copy_from_slice(&other.acc);
+            return;
+        }
+        let new_max = self.max.max(other.max);
+        let self_scale = (self.max - new_max).exp();
+        let other_scale = (other.max - new_max).exp();
+        self.denom = self.denom * self_scale + other.denom * other_scale;
+        for (a, &o) in self.acc.iter_mut().zip(&other.acc) {
+            *a = *a * self_scale + o * other_scale;
+        }
+        self.max = new_max;
+    }
+
+    /// Finalises the accumulator into the normalised attention output.
+    pub fn finish(&self, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.acc.len());
+        if self.denom == 0.0 {
+            out.iter_mut().for_each(|o| *o = 0.0);
+            return;
+        }
+        for (o, &a) in out.iter_mut().zip(&self.acc) {
+            *o = a / self.denom;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut s = vec![1.0f32, 2.0, 3.0, 4.0];
+        softmax_inplace(&mut s);
+        let sum: f32 = s.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0f32, 2.0, 3.0];
+        let mut b = vec![1001.0f32, 1002.0, 1003.0];
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extremes_without_nan() {
+        let mut s = vec![-1e30f32, 0.0, 1e3];
+        softmax_inplace(&mut s);
+        assert!(s.iter().all(|x| x.is_finite()));
+        let mut empty: Vec<f32> = vec![];
+        softmax_inplace(&mut empty);
+        let mut all_masked = vec![f32::NEG_INFINITY; 3];
+        softmax_inplace(&mut all_masked);
+        assert!(all_masked.iter().all(|&x| x == 0.0));
+    }
+
+    fn naive_attention(scores: &[f32], values: &[Vec<f32>]) -> Vec<f32> {
+        let mut s = scores.to_vec();
+        softmax_inplace(&mut s);
+        let dim = values[0].len();
+        let mut out = vec![0.0f32; dim];
+        for (w, v) in s.iter().zip(values) {
+            for (o, &x) in out.iter_mut().zip(v) {
+                *o += w * x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn online_softmax_matches_naive() {
+        let scores = [0.3f32, -1.2, 2.5, 0.0, 1.1];
+        let values: Vec<Vec<f32>> =
+            (0..5).map(|i| (0..4).map(|j| (i * 4 + j) as f32 * 0.1).collect()).collect();
+        let mut acc = OnlineSoftmax::new(4);
+        for (s, v) in scores.iter().zip(&values) {
+            acc.push(*s, v);
+        }
+        let mut out = vec![0.0; 4];
+        acc.finish(&mut out);
+        let expected = naive_attention(&scores, &values);
+        for (a, b) in out.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn merged_partitions_match_single_pass() {
+        let scores: Vec<f32> = (0..10).map(|i| (i as f32 * 0.7).sin() * 3.0).collect();
+        let values: Vec<Vec<f32>> =
+            (0..10).map(|i| (0..3).map(|j| ((i + j) as f32).cos()).collect()).collect();
+
+        let mut whole = OnlineSoftmax::new(3);
+        for (s, v) in scores.iter().zip(&values) {
+            whole.push(*s, v);
+        }
+        let mut a = OnlineSoftmax::new(3);
+        let mut b = OnlineSoftmax::new(3);
+        for (s, v) in scores.iter().zip(&values).take(4) {
+            a.push(*s, v);
+        }
+        for (s, v) in scores.iter().zip(&values).skip(4) {
+            b.push(*s, v);
+        }
+        a.merge(&b);
+        let (mut o1, mut o2) = (vec![0.0; 3], vec![0.0; 3]);
+        whole.finish(&mut o1);
+        a.finish(&mut o2);
+        for (x, y) in o1.iter().zip(&o2) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_to_zero() {
+        let acc = OnlineSoftmax::new(2);
+        let mut out = vec![1.0f32; 2];
+        acc.finish(&mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineSoftmax::new(2);
+        a.push(1.0, &[2.0, 3.0]);
+        let before = a.clone();
+        a.merge(&OnlineSoftmax::new(2));
+        assert_eq!(a, before);
+
+        let mut empty = OnlineSoftmax::new(2);
+        empty.merge(&before);
+        let (mut o1, mut o2) = (vec![0.0; 2], vec![0.0; 2]);
+        empty.finish(&mut o1);
+        before.finish(&mut o2);
+        assert_eq!(o1, o2);
+    }
+
+    proptest! {
+        /// Splitting the key sequence at any point and merging gives the same result as a
+        /// single pass, up to floating-point tolerance.
+        #[test]
+        fn prop_merge_associativity(
+            scores in proptest::collection::vec(-5.0f32..5.0, 2..40),
+            split in 1usize..39,
+        ) {
+            let n = scores.len();
+            let split = split.min(n - 1);
+            let values: Vec<Vec<f32>> =
+                (0..n).map(|i| vec![(i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()]).collect();
+
+            let mut whole = OnlineSoftmax::new(2);
+            for (s, v) in scores.iter().zip(&values) { whole.push(*s, v); }
+
+            let mut left = OnlineSoftmax::new(2);
+            let mut right = OnlineSoftmax::new(2);
+            for i in 0..split { left.push(scores[i], &values[i]); }
+            for i in split..n { right.push(scores[i], &values[i]); }
+            left.merge(&right);
+
+            let (mut o1, mut o2) = (vec![0.0; 2], vec![0.0; 2]);
+            whole.finish(&mut o1);
+            left.finish(&mut o2);
+            for (a, b) in o1.iter().zip(&o2) {
+                prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+            }
+        }
+    }
+}

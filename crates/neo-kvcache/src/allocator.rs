@@ -1,0 +1,251 @@
+//! Reference-counted free-list block allocator.
+//!
+//! Both the GPU-cache and the CPU-cache hand out fixed-size blocks of `block_size` tokens.
+//! The allocator keeps a LIFO free list (so recently freed — likely cache-warm — blocks are
+//! reused first) and a per-block reference count, which supports future prefix-sharing use
+//! cases and catches double frees.
+
+use crate::error::KvCacheError;
+use crate::pool::Device;
+
+/// A fixed-capacity block allocator with reference counting.
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    device: Device,
+    ref_counts: Vec<u32>,
+    free_list: Vec<usize>,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator managing `num_blocks` blocks for `device`.
+    pub fn new(device: Device, num_blocks: usize) -> Self {
+        Self {
+            device,
+            ref_counts: vec![0; num_blocks],
+            // Reverse order so block 0 is handed out first (LIFO pop from the back).
+            free_list: (0..num_blocks).rev().collect(),
+        }
+    }
+
+    /// Total number of blocks managed.
+    pub fn num_blocks(&self) -> usize {
+        self.ref_counts.len()
+    }
+
+    /// Number of currently free blocks.
+    pub fn num_free(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Number of currently allocated blocks.
+    pub fn num_used(&self) -> usize {
+        self.num_blocks() - self.num_free()
+    }
+
+    /// Device this allocator belongs to.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Allocates one block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::OutOfMemory`] when no block is free.
+    pub fn allocate(&mut self) -> Result<usize, KvCacheError> {
+        match self.free_list.pop() {
+            Some(b) => {
+                self.ref_counts[b] = 1;
+                Ok(b)
+            }
+            None => Err(KvCacheError::OutOfMemory {
+                device: self.device,
+                requested_blocks: 1,
+                available_blocks: 0,
+            }),
+        }
+    }
+
+    /// Allocates `n` blocks atomically: either all succeed or none are taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::OutOfMemory`] when fewer than `n` blocks are free; the
+    /// allocator state is unchanged in that case.
+    pub fn allocate_many(&mut self, n: usize) -> Result<Vec<usize>, KvCacheError> {
+        if self.num_free() < n {
+            return Err(KvCacheError::OutOfMemory {
+                device: self.device,
+                requested_blocks: n,
+                available_blocks: self.num_free(),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.allocate().expect("free count checked above"));
+        }
+        Ok(out)
+    }
+
+    /// Increments the reference count of an allocated block (prefix sharing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::InvalidBlock`] if the block is out of range or currently free.
+    pub fn retain(&mut self, block: usize) -> Result<(), KvCacheError> {
+        self.check(block)?;
+        if self.ref_counts[block] == 0 {
+            return Err(KvCacheError::InvalidBlock { block, pool_blocks: self.num_blocks() });
+        }
+        self.ref_counts[block] += 1;
+        Ok(())
+    }
+
+    /// Releases one reference to `block`, returning it to the free list when the count
+    /// reaches zero. Returns `true` if the block became free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::InvalidBlock`] on out-of-range indices or double frees.
+    pub fn release(&mut self, block: usize) -> Result<bool, KvCacheError> {
+        self.check(block)?;
+        if self.ref_counts[block] == 0 {
+            return Err(KvCacheError::InvalidBlock { block, pool_blocks: self.num_blocks() });
+        }
+        self.ref_counts[block] -= 1;
+        if self.ref_counts[block] == 0 {
+            self.free_list.push(block);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Reference count of `block` (0 when free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::InvalidBlock`] if `block` is out of range.
+    pub fn ref_count(&self, block: usize) -> Result<u32, KvCacheError> {
+        self.check(block)?;
+        Ok(self.ref_counts[block])
+    }
+
+    fn check(&self, block: usize) -> Result<(), KvCacheError> {
+        if block >= self.num_blocks() {
+            Err(KvCacheError::InvalidBlock { block, pool_blocks: self.num_blocks() })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut a = BlockAllocator::new(Device::Gpu, 4);
+        assert_eq!(a.num_free(), 4);
+        let b = a.allocate().unwrap();
+        assert_eq!(a.num_used(), 1);
+        assert!(a.release(b).unwrap());
+        assert_eq!(a.num_free(), 4);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error_not_a_panic() {
+        let mut a = BlockAllocator::new(Device::Cpu, 2);
+        a.allocate().unwrap();
+        a.allocate().unwrap();
+        let err = a.allocate().unwrap_err();
+        assert!(matches!(err, KvCacheError::OutOfMemory { device: Device::Cpu, .. }));
+    }
+
+    #[test]
+    fn allocate_many_is_atomic() {
+        let mut a = BlockAllocator::new(Device::Gpu, 3);
+        let _one = a.allocate().unwrap();
+        let err = a.allocate_many(3).unwrap_err();
+        assert!(matches!(err, KvCacheError::OutOfMemory { available_blocks: 2, .. }));
+        // Nothing was taken by the failed call.
+        assert_eq!(a.num_free(), 2);
+        assert_eq!(a.allocate_many(2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn refcounted_blocks_survive_partial_release() {
+        let mut a = BlockAllocator::new(Device::Gpu, 1);
+        let b = a.allocate().unwrap();
+        a.retain(b).unwrap();
+        assert_eq!(a.ref_count(b).unwrap(), 2);
+        assert!(!a.release(b).unwrap());
+        assert_eq!(a.num_free(), 0);
+        assert!(a.release(b).unwrap());
+        assert_eq!(a.num_free(), 1);
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut a = BlockAllocator::new(Device::Gpu, 1);
+        let b = a.allocate().unwrap();
+        a.release(b).unwrap();
+        assert!(a.release(b).is_err());
+    }
+
+    #[test]
+    fn retain_free_block_is_rejected() {
+        let mut a = BlockAllocator::new(Device::Gpu, 1);
+        assert!(a.retain(0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_block_is_rejected() {
+        let a = BlockAllocator::new(Device::Gpu, 1);
+        assert!(matches!(a.ref_count(5), Err(KvCacheError::InvalidBlock { .. })));
+    }
+
+    #[test]
+    fn zero_capacity_allocator_always_fails() {
+        let mut a = BlockAllocator::new(Device::Gpu, 0);
+        assert!(a.allocate().is_err());
+        assert_eq!(a.num_blocks(), 0);
+    }
+
+    proptest! {
+        /// Allocations never hand out the same block twice while it is live, and
+        /// used + free always equals the capacity.
+        #[test]
+        fn prop_no_double_allocation(ops in proptest::collection::vec(0u8..3, 1..200)) {
+            let mut a = BlockAllocator::new(Device::Gpu, 16);
+            let mut live: Vec<usize> = Vec::new();
+            for op in ops {
+                match op {
+                    0 => {
+                        if let Ok(b) = a.allocate() {
+                            prop_assert!(!live.contains(&b), "block {} handed out twice", b);
+                            live.push(b);
+                        }
+                    }
+                    1 => {
+                        if let Some(b) = live.pop() {
+                            prop_assert!(a.release(b).unwrap());
+                        }
+                    }
+                    _ => {
+                        if let Ok(bs) = a.allocate_many(3) {
+                            for b in bs {
+                                prop_assert!(!live.contains(&b));
+                                live.push(b);
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(a.num_used(), live.len());
+                prop_assert_eq!(a.num_used() + a.num_free(), 16);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Paged KV cache for the NEO reproduction.
+//!
+//! NEO splits the KV cache into two components (§3.1 of the paper): a **GPU-cache** in GPU
+//! HBM and a **CPU-cache** in host DRAM. Any prefilled request lives entirely in one of the
+//! two — a *GPU-request* or a *CPU-request* — and the scheduler may swap a request between
+//! the two pools across iterations. Both caches are paged (fixed-size token blocks) in the
+//! style of vLLM's PagedAttention to avoid fragmentation.
+//!
+//! This crate provides:
+//!
+//! * [`allocator::BlockAllocator`] — a free-list block allocator with reference counting.
+//! * [`blocktable::BlockTable`] — the per-sequence logical-to-physical block mapping.
+//! * [`pool::KvPool`] — one device's pool (capacity accounting + allocator).
+//! * [`manager::KvCacheManager`] — the two-pool manager: sequence allocation, growth,
+//!   release, and GPU↔CPU swaps with byte accounting.
+//! * [`storage::PagedStorage`] — a real `f32` backing store for the functional attention
+//!   kernels in `neo-kernels` (the "PACPU" equivalent), addressed through block tables.
+//! * [`swap::SwapPlan`] — layer-wise swap scheduling used to overlap PCIe transfers with
+//!   compute.
+//!
+//! # Example
+//!
+//! ```
+//! use neo_kvcache::manager::{KvCacheManager, KvCacheConfig};
+//! use neo_kvcache::pool::Device;
+//!
+//! let config = KvCacheConfig { block_size: 16, gpu_capacity_tokens: 4096,
+//!     cpu_capacity_tokens: 65536, kv_bytes_per_token: 128 * 1024 };
+//! let mut mgr = KvCacheManager::new(config);
+//! mgr.allocate_sequence(7, 100, Device::Gpu)?;
+//! mgr.append_tokens(7, 1)?;
+//! let swap = mgr.swap(7, Device::Cpu)?;
+//! assert!(swap.bytes > 0);
+//! # Ok::<(), neo_kvcache::error::KvCacheError>(())
+//! ```
+
+pub mod allocator;
+pub mod blocktable;
+pub mod error;
+pub mod manager;
+pub mod pool;
+pub mod storage;
+pub mod swap;
+
+pub use allocator::BlockAllocator;
+pub use blocktable::BlockTable;
+pub use error::KvCacheError;
+pub use manager::{KvCacheConfig, KvCacheManager};
+pub use pool::{Device, KvPool};
+pub use storage::PagedStorage;
+pub use swap::SwapPlan;
+
+/// Default number of tokens per KV block (same granularity as vLLM / the paper's PACPU).
+pub const DEFAULT_BLOCK_SIZE: usize = 16;

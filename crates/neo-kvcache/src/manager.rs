@@ -1,0 +1,381 @@
+//! Two-pool (GPU-cache + CPU-cache) sequence-level manager.
+//!
+//! This is the accounting heart of NEO's partial offloading: every prefilled sequence owns
+//! a block table on exactly one device, the scheduler asks "can I fit these new tokens on
+//! the GPU?" / "how many tokens must I swap out?", and swaps move a whole sequence between
+//! pools while reporting the bytes that crossed PCIe (so the cost model can charge for it).
+
+use std::collections::HashMap;
+
+use crate::blocktable::BlockTable;
+use crate::error::KvCacheError;
+use crate::pool::{Device, KvPool};
+
+/// Configuration of the two KV pools.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvCacheConfig {
+    /// Tokens per block.
+    pub block_size: usize,
+    /// GPU pool capacity in tokens.
+    pub gpu_capacity_tokens: usize,
+    /// CPU pool capacity in tokens.
+    pub cpu_capacity_tokens: usize,
+    /// Bytes of KV cache one token occupies across all layers (for swap byte accounting).
+    pub kv_bytes_per_token: usize,
+}
+
+/// Statistics of one swap operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Sequence that was moved.
+    pub seq_id: u64,
+    /// Tokens whose KV entries were moved.
+    pub tokens: usize,
+    /// Bytes moved across PCIe (all layers).
+    pub bytes: u64,
+    /// Direction of the move.
+    pub to: Device,
+}
+
+/// Per-sequence record kept by the manager.
+#[derive(Debug, Clone)]
+struct SeqEntry {
+    device: Device,
+    table: BlockTable,
+}
+
+/// The GPU + CPU paged KV cache manager.
+#[derive(Debug, Clone)]
+pub struct KvCacheManager {
+    config: KvCacheConfig,
+    gpu: KvPool,
+    cpu: KvPool,
+    seqs: HashMap<u64, SeqEntry>,
+}
+
+impl KvCacheManager {
+    /// Creates a manager with the given pool configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero (propagated from [`KvPool::new`]).
+    pub fn new(config: KvCacheConfig) -> Self {
+        Self {
+            gpu: KvPool::new(Device::Gpu, config.gpu_capacity_tokens, config.block_size),
+            cpu: KvPool::new(Device::Cpu, config.cpu_capacity_tokens, config.block_size),
+            config,
+            seqs: HashMap::new(),
+        }
+    }
+
+    /// The configuration this manager was created with.
+    pub fn config(&self) -> &KvCacheConfig {
+        &self.config
+    }
+
+    /// The pool for `device`.
+    pub fn pool(&self, device: Device) -> &KvPool {
+        match device {
+            Device::Gpu => &self.gpu,
+            Device::Cpu => &self.cpu,
+        }
+    }
+
+    fn pool_mut(&mut self, device: Device) -> &mut KvPool {
+        match device {
+            Device::Gpu => &mut self.gpu,
+            Device::Cpu => &mut self.cpu,
+        }
+    }
+
+    /// Number of sequences currently tracked.
+    pub fn num_sequences(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Device a sequence currently resides on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownSequence`] if the sequence is not tracked.
+    pub fn device_of(&self, seq_id: u64) -> Result<Device, KvCacheError> {
+        self.seqs.get(&seq_id).map(|e| e.device).ok_or(KvCacheError::UnknownSequence(seq_id))
+    }
+
+    /// Number of cached tokens of a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownSequence`] if the sequence is not tracked.
+    pub fn num_tokens_of(&self, seq_id: u64) -> Result<usize, KvCacheError> {
+        self.seqs
+            .get(&seq_id)
+            .map(|e| e.table.num_tokens())
+            .ok_or(KvCacheError::UnknownSequence(seq_id))
+    }
+
+    /// The block table of a sequence (for the functional kernels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownSequence`] if the sequence is not tracked.
+    pub fn block_table(&self, seq_id: u64) -> Result<&BlockTable, KvCacheError> {
+        self.seqs.get(&seq_id).map(|e| &e.table).ok_or(KvCacheError::UnknownSequence(seq_id))
+    }
+
+    /// Free token capacity of a device's pool.
+    pub fn free_tokens(&self, device: Device) -> usize {
+        self.pool(device).free_tokens()
+    }
+
+    /// Whether `n_tokens` new tokens can be placed on `device` right now.
+    pub fn can_allocate(&self, device: Device, n_tokens: usize) -> bool {
+        self.pool(device).can_allocate(n_tokens)
+    }
+
+    /// Allocates a new sequence of `n_tokens` tokens (its prefill KV) on `device`.
+    ///
+    /// # Errors
+    ///
+    /// * [`KvCacheError::DuplicateSequence`] if the id is already tracked.
+    /// * [`KvCacheError::OutOfMemory`] if the pool cannot hold the tokens.
+    pub fn allocate_sequence(
+        &mut self,
+        seq_id: u64,
+        n_tokens: usize,
+        device: Device,
+    ) -> Result<(), KvCacheError> {
+        if self.seqs.contains_key(&seq_id) {
+            return Err(KvCacheError::DuplicateSequence(seq_id));
+        }
+        let block_size = self.config.block_size;
+        let blocks = self.pool_mut(device).allocate_tokens(n_tokens)?;
+        let mut table = BlockTable::new(block_size);
+        table.append(n_tokens, blocks).expect("block count from allocate_tokens matches");
+        self.seqs.insert(seq_id, SeqEntry { device, table });
+        Ok(())
+    }
+
+    /// Appends `n_tokens` decode tokens to an existing sequence on its current device.
+    ///
+    /// # Errors
+    ///
+    /// * [`KvCacheError::UnknownSequence`] if the id is not tracked.
+    /// * [`KvCacheError::OutOfMemory`] if the device pool is full (sequence unchanged).
+    pub fn append_tokens(&mut self, seq_id: u64, n_tokens: usize) -> Result<(), KvCacheError> {
+        let entry = self.seqs.get(&seq_id).ok_or(KvCacheError::UnknownSequence(seq_id))?;
+        let device = entry.device;
+        let needed = entry.table.blocks_needed_for_append(n_tokens);
+        let blocks = self.pool_mut(device).allocate_blocks(needed)?;
+        let entry = self.seqs.get_mut(&seq_id).expect("checked above");
+        entry.table.append(n_tokens, blocks).expect("block count matches");
+        Ok(())
+    }
+
+    /// Releases a sequence and returns how many tokens' worth of cache it freed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownSequence`] if the id is not tracked.
+    pub fn free_sequence(&mut self, seq_id: u64) -> Result<usize, KvCacheError> {
+        let mut entry = self.seqs.remove(&seq_id).ok_or(KvCacheError::UnknownSequence(seq_id))?;
+        let tokens = entry.table.num_tokens();
+        let blocks = entry.table.take_blocks();
+        self.pool_mut(entry.device).release_blocks(&blocks)?;
+        Ok(tokens)
+    }
+
+    /// Moves a sequence's whole KV cache to the other device, returning the transfer stats.
+    ///
+    /// # Errors
+    ///
+    /// * [`KvCacheError::UnknownSequence`] if the id is not tracked.
+    /// * [`KvCacheError::AlreadyOnDevice`] if it already lives on `to`.
+    /// * [`KvCacheError::OutOfMemory`] if the destination pool cannot hold it (the
+    ///   sequence stays untouched on its current device).
+    pub fn swap(&mut self, seq_id: u64, to: Device) -> Result<SwapStats, KvCacheError> {
+        let entry = self.seqs.get(&seq_id).ok_or(KvCacheError::UnknownSequence(seq_id))?;
+        if entry.device == to {
+            return Err(KvCacheError::AlreadyOnDevice { seq_id, device: to });
+        }
+        let tokens = entry.table.num_tokens();
+        // Reserve space on the destination first so failure leaves the source intact.
+        let new_blocks = self.pool_mut(to).allocate_tokens(tokens)?;
+        let entry = self.seqs.get_mut(&seq_id).expect("checked above");
+        let from = entry.device;
+        let old_blocks = entry.table.take_blocks();
+        entry.table.append(tokens, new_blocks).expect("block count matches");
+        entry.device = to;
+        self.pool_mut(from).release_blocks(&old_blocks)?;
+        Ok(SwapStats {
+            seq_id,
+            tokens,
+            bytes: tokens as u64 * self.config.kv_bytes_per_token as u64,
+            to,
+        })
+    }
+
+    /// Ids of all sequences currently resident on `device`, in ascending order.
+    pub fn sequences_on(&self, device: Device) -> Vec<u64> {
+        let mut ids: Vec<u64> =
+            self.seqs.iter().filter(|(_, e)| e.device == device).map(|(&id, _)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Total cached tokens per device `(gpu_tokens, cpu_tokens)`, counting logical tokens.
+    pub fn cached_tokens(&self) -> (usize, usize) {
+        let mut gpu = 0;
+        let mut cpu = 0;
+        for e in self.seqs.values() {
+            match e.device {
+                Device::Gpu => gpu += e.table.num_tokens(),
+                Device::Cpu => cpu += e.table.num_tokens(),
+            }
+        }
+        (gpu, cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mgr(gpu: usize, cpu: usize) -> KvCacheManager {
+        KvCacheManager::new(KvCacheConfig {
+            block_size: 16,
+            gpu_capacity_tokens: gpu,
+            cpu_capacity_tokens: cpu,
+            kv_bytes_per_token: 1024,
+        })
+    }
+
+    #[test]
+    fn allocate_append_free_cycle() {
+        let mut m = mgr(256, 256);
+        m.allocate_sequence(1, 100, Device::Gpu).unwrap();
+        assert_eq!(m.device_of(1).unwrap(), Device::Gpu);
+        assert_eq!(m.num_tokens_of(1).unwrap(), 100);
+        m.append_tokens(1, 30).unwrap();
+        assert_eq!(m.num_tokens_of(1).unwrap(), 130);
+        let freed = m.free_sequence(1).unwrap();
+        assert_eq!(freed, 130);
+        assert_eq!(m.free_tokens(Device::Gpu), 256);
+        assert!(m.device_of(1).is_err());
+    }
+
+    #[test]
+    fn duplicate_allocation_is_rejected() {
+        let mut m = mgr(256, 256);
+        m.allocate_sequence(1, 10, Device::Gpu).unwrap();
+        assert!(matches!(
+            m.allocate_sequence(1, 10, Device::Cpu),
+            Err(KvCacheError::DuplicateSequence(1))
+        ));
+    }
+
+    #[test]
+    fn gpu_exhaustion_reports_oom_and_leaves_state_clean() {
+        let mut m = mgr(64, 256);
+        m.allocate_sequence(1, 60, Device::Gpu).unwrap();
+        let err = m.allocate_sequence(2, 32, Device::Gpu).unwrap_err();
+        assert!(matches!(err, KvCacheError::OutOfMemory { device: Device::Gpu, .. }));
+        // Sequence 2 must not be half-created.
+        assert!(m.device_of(2).is_err());
+        // And the CPU pool still works.
+        m.allocate_sequence(2, 32, Device::Cpu).unwrap();
+    }
+
+    #[test]
+    fn swap_moves_tokens_and_accounts_bytes() {
+        let mut m = mgr(256, 256);
+        m.allocate_sequence(5, 100, Device::Gpu).unwrap();
+        let used_gpu_before = m.pool(Device::Gpu).used_tokens();
+        let stats = m.swap(5, Device::Cpu).unwrap();
+        assert_eq!(stats.tokens, 100);
+        assert_eq!(stats.bytes, 100 * 1024);
+        assert_eq!(stats.to, Device::Cpu);
+        assert_eq!(m.device_of(5).unwrap(), Device::Cpu);
+        assert_eq!(m.num_tokens_of(5).unwrap(), 100);
+        assert_eq!(m.pool(Device::Gpu).used_tokens(), used_gpu_before - 112); // 7 blocks
+        // Swapping back also works.
+        let back = m.swap(5, Device::Gpu).unwrap();
+        assert_eq!(back.to, Device::Gpu);
+    }
+
+    #[test]
+    fn swap_to_same_device_is_rejected() {
+        let mut m = mgr(256, 256);
+        m.allocate_sequence(5, 10, Device::Gpu).unwrap();
+        assert!(matches!(
+            m.swap(5, Device::Gpu),
+            Err(KvCacheError::AlreadyOnDevice { seq_id: 5, device: Device::Gpu })
+        ));
+    }
+
+    #[test]
+    fn swap_to_full_destination_keeps_source_intact() {
+        let mut m = mgr(256, 32);
+        m.allocate_sequence(5, 100, Device::Gpu).unwrap();
+        let err = m.swap(5, Device::Cpu).unwrap_err();
+        assert!(matches!(err, KvCacheError::OutOfMemory { device: Device::Cpu, .. }));
+        assert_eq!(m.device_of(5).unwrap(), Device::Gpu);
+        assert_eq!(m.num_tokens_of(5).unwrap(), 100);
+    }
+
+    #[test]
+    fn sequences_on_filters_by_device() {
+        let mut m = mgr(256, 256);
+        m.allocate_sequence(1, 10, Device::Gpu).unwrap();
+        m.allocate_sequence(2, 10, Device::Cpu).unwrap();
+        m.allocate_sequence(3, 10, Device::Gpu).unwrap();
+        assert_eq!(m.sequences_on(Device::Gpu), vec![1, 3]);
+        assert_eq!(m.sequences_on(Device::Cpu), vec![2]);
+        assert_eq!(m.cached_tokens(), (20, 10));
+    }
+
+    #[test]
+    fn append_to_unknown_sequence_fails() {
+        let mut m = mgr(64, 64);
+        assert!(matches!(m.append_tokens(42, 1), Err(KvCacheError::UnknownSequence(42))));
+    }
+
+    proptest! {
+        /// Pool accounting stays exact under random allocate / append / free / swap
+        /// sequences: used + free == capacity on both pools, and the sum of logical tokens
+        /// never exceeds used block capacity.
+        #[test]
+        fn prop_pool_accounting(ops in proptest::collection::vec((0u8..4, 1u64..6, 1usize..50), 1..120)) {
+            let mut m = mgr(320, 640);
+            for (op, id, n) in ops {
+                match op {
+                    0 => { let _ = m.allocate_sequence(id, n, Device::Gpu); }
+                    1 => { let _ = m.allocate_sequence(id, n, Device::Cpu); }
+                    2 => { let _ = m.append_tokens(id, n.min(8)); }
+                    _ => {
+                        if let Ok(dev) = m.device_of(id) {
+                            let _ = m.swap(id, dev.other());
+                        } else {
+                            let _ = m.free_sequence(id);
+                        }
+                    }
+                }
+                for dev in [Device::Gpu, Device::Cpu] {
+                    let p = m.pool(dev);
+                    prop_assert_eq!(p.used_tokens() + p.free_tokens(), p.capacity_tokens());
+                }
+                let (gpu_logical, cpu_logical) = m.cached_tokens();
+                prop_assert!(gpu_logical <= m.pool(Device::Gpu).used_tokens());
+                prop_assert!(cpu_logical <= m.pool(Device::Cpu).used_tokens());
+            }
+            // Freeing everything returns both pools to pristine state.
+            let ids: Vec<u64> = (1..6).collect();
+            for id in ids {
+                let _ = m.free_sequence(id);
+            }
+            prop_assert_eq!(m.pool(Device::Gpu).used_tokens(), 0);
+            prop_assert_eq!(m.pool(Device::Cpu).used_tokens(), 0);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Layer-wise swap scheduling.
+//!
+//! NEO overlaps the PCIe transfer of newly prefilled KV entries with compute by initiating
+//! the transfer of each layer's KV values "immediately after each layer's KV value is
+//! computed, rather than deferring this process until the end of the entire iteration"
+//! (§3.1). This module models that two-stage pipeline (compute → transfer, with the PCIe
+//! link as the second stage) and quantifies how much transfer time is actually *exposed*
+//! (not hidden behind compute), which the asymmetric-pipelining executor charges to the
+//! iteration.
+
+/// Direction of a KV swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapDirection {
+    /// GPU → CPU (offloading newly prefilled or evicted requests).
+    Out,
+    /// CPU → GPU (bringing a CPU-request back to the GPU).
+    In,
+}
+
+/// A planned swap of one sequence's KV cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapOp {
+    /// Sequence being moved.
+    pub seq_id: u64,
+    /// Tokens whose KV entries move.
+    pub tokens: usize,
+    /// Direction of the move.
+    pub direction: SwapDirection,
+}
+
+/// A set of swaps scheduled for one iteration, with the timing of their overlap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwapPlan {
+    ops: Vec<SwapOp>,
+}
+
+impl SwapPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a swap to the plan.
+    pub fn push(&mut self, op: SwapOp) {
+        self.ops.push(op);
+    }
+
+    /// The planned operations.
+    pub fn ops(&self) -> &[SwapOp] {
+        &self.ops
+    }
+
+    /// Total tokens moved in the given direction.
+    pub fn tokens(&self, direction: SwapDirection) -> usize {
+        self.ops.iter().filter(|o| o.direction == direction).map(|o| o.tokens).sum()
+    }
+
+    /// Whether the plan contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Completion time of a layer-wise two-stage pipeline with `n_layers` layers, where
+    /// each layer takes `compute_per_layer` seconds to produce its output and
+    /// `transfer_per_layer` seconds to ship it over PCIe, and transfers are serialized on
+    /// the link. Classic pipeline formula: `c + (L-1)·max(c, t) + t`.
+    pub fn layerwise_pipeline_time(
+        n_layers: usize,
+        compute_per_layer: f64,
+        transfer_per_layer: f64,
+    ) -> f64 {
+        if n_layers == 0 {
+            return 0.0;
+        }
+        let l = n_layers as f64;
+        compute_per_layer
+            + (l - 1.0) * compute_per_layer.max(transfer_per_layer)
+            + transfer_per_layer
+    }
+
+    /// The transfer time that is **exposed** (adds to iteration latency) when transfers are
+    /// overlapped layer-by-layer with compute, compared to compute alone.
+    pub fn layerwise_exposed_time(
+        n_layers: usize,
+        compute_per_layer: f64,
+        transfer_per_layer: f64,
+    ) -> f64 {
+        let total = Self::layerwise_pipeline_time(n_layers, compute_per_layer, transfer_per_layer);
+        (total - n_layers as f64 * compute_per_layer).max(0.0)
+    }
+
+    /// The transfer time exposed when the whole-iteration transfer is deferred to the end
+    /// (the non-overlapped strawman): the entire transfer is on the critical path.
+    pub fn deferred_exposed_time(n_layers: usize, transfer_per_layer: f64) -> f64 {
+        n_layers as f64 * transfer_per_layer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plan_accumulates_tokens_by_direction() {
+        let mut p = SwapPlan::new();
+        assert!(p.is_empty());
+        p.push(SwapOp { seq_id: 1, tokens: 100, direction: SwapDirection::Out });
+        p.push(SwapOp { seq_id: 2, tokens: 50, direction: SwapDirection::Out });
+        p.push(SwapOp { seq_id: 3, tokens: 30, direction: SwapDirection::In });
+        assert_eq!(p.tokens(SwapDirection::Out), 150);
+        assert_eq!(p.tokens(SwapDirection::In), 30);
+        assert_eq!(p.ops().len(), 3);
+    }
+
+    #[test]
+    fn fast_link_hides_almost_all_transfer() {
+        // Transfer much faster than compute: only the last layer's transfer is exposed.
+        let exposed = SwapPlan::layerwise_exposed_time(32, 1e-3, 1e-5);
+        assert!((exposed - 1e-5).abs() < 1e-9, "exposed {exposed}");
+    }
+
+    #[test]
+    fn slow_link_exposes_most_transfer() {
+        // Transfer much slower than compute: pipeline is transfer-bound.
+        let exposed = SwapPlan::layerwise_exposed_time(32, 1e-5, 1e-3);
+        let deferred = SwapPlan::deferred_exposed_time(32, 1e-3);
+        assert!(exposed > 0.9 * deferred);
+        assert!(exposed < deferred);
+    }
+
+    #[test]
+    fn layerwise_never_worse_than_deferred() {
+        for &(c, t) in &[(1e-3, 1e-5), (1e-5, 1e-3), (5e-4, 5e-4), (0.0, 1e-4)] {
+            let lw = SwapPlan::layerwise_exposed_time(32, c, t);
+            let def = SwapPlan::deferred_exposed_time(32, t);
+            assert!(lw <= def + 1e-12, "layerwise {lw} vs deferred {def}");
+        }
+    }
+
+    #[test]
+    fn zero_layers_is_zero_time() {
+        assert_eq!(SwapPlan::layerwise_pipeline_time(0, 1.0, 1.0), 0.0);
+        assert_eq!(SwapPlan::layerwise_exposed_time(0, 1.0, 1.0), 0.0);
+    }
+
+    proptest! {
+        /// The pipeline formula is bounded below by both pure-compute and pure-transfer
+        /// time and above by their sum, and exposed time is non-negative.
+        #[test]
+        fn prop_pipeline_bounds(layers in 1usize..100, c in 0.0f64..1e-2, t in 0.0f64..1e-2) {
+            let total = SwapPlan::layerwise_pipeline_time(layers, c, t);
+            let l = layers as f64;
+            prop_assert!(total + 1e-15 >= l * c);
+            prop_assert!(total + 1e-15 >= l * t);
+            prop_assert!(total <= l * c + l * t + 1e-15);
+            prop_assert!(SwapPlan::layerwise_exposed_time(layers, c, t) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The functional two-device paged KV cache: block accounting plus real `f32` storage.
+//!
+//! [`PagedKvCache`] combines the accounting [`KvCacheManager`] from `neo-kvcache` with one
+//! [`PagedStorage`] per transformer layer per device (GPU pool and CPU pool). Swapping a
+//! sequence moves both the accounting *and* the actual K/V numbers, so tests can assert
+//! that offloading a request to the CPU-cache and back never changes the model's output —
+//! the accuracy-preservation claim of the paper.
+
+use neo_kvcache::manager::{KvCacheConfig, KvCacheManager, SwapStats};
+use neo_kvcache::{BlockTable, Device, KvCacheError, PagedStorage};
+use neo_sim::ModelDesc;
+
+/// Per-layer, per-device paged KV cache with real storage.
+#[derive(Debug, Clone)]
+pub struct PagedKvCache {
+    n_layers: usize,
+    manager: KvCacheManager,
+    gpu_layers: Vec<PagedStorage>,
+    cpu_layers: Vec<PagedStorage>,
+}
+
+impl PagedKvCache {
+    /// Creates a cache for `desc` with the given block size and per-device capacities
+    /// (in tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(
+        desc: &ModelDesc,
+        block_size: usize,
+        gpu_capacity_tokens: usize,
+        cpu_capacity_tokens: usize,
+    ) -> Self {
+        let manager = KvCacheManager::new(KvCacheConfig {
+            block_size,
+            gpu_capacity_tokens,
+            cpu_capacity_tokens,
+            kv_bytes_per_token: desc.kv_bytes_per_token(),
+        });
+        let gpu_blocks = manager.pool(Device::Gpu).num_blocks();
+        let cpu_blocks = manager.pool(Device::Cpu).num_blocks();
+        let mk = |blocks: usize| {
+            PagedStorage::new(blocks, block_size, desc.n_kv_heads, desc.head_dim)
+        };
+        Self {
+            n_layers: desc.n_layers,
+            gpu_layers: (0..desc.n_layers).map(|_| mk(gpu_blocks)).collect(),
+            cpu_layers: (0..desc.n_layers).map(|_| mk(cpu_blocks)).collect(),
+            manager,
+        }
+    }
+
+    /// The underlying accounting manager (read-only).
+    pub fn manager(&self) -> &KvCacheManager {
+        &self.manager
+    }
+
+    /// Allocates room for a new sequence of `n_tokens` tokens on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvCacheError`] from the accounting manager (duplicate id, OOM).
+    pub fn allocate(
+        &mut self,
+        seq_id: u64,
+        n_tokens: usize,
+        device: Device,
+    ) -> Result<(), KvCacheError> {
+        self.manager.allocate_sequence(seq_id, n_tokens, device)
+    }
+
+    /// Grows a sequence by `n_tokens` on its current device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvCacheError`] (unknown sequence, OOM).
+    pub fn append(&mut self, seq_id: u64, n_tokens: usize) -> Result<(), KvCacheError> {
+        self.manager.append_tokens(seq_id, n_tokens)
+    }
+
+    /// Releases a sequence, returning how many tokens it had cached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownSequence`] if the id is not tracked.
+    pub fn free(&mut self, seq_id: u64) -> Result<usize, KvCacheError> {
+        self.manager.free_sequence(seq_id)
+    }
+
+    /// Device the sequence currently lives on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownSequence`] if the id is not tracked.
+    pub fn device_of(&self, seq_id: u64) -> Result<Device, KvCacheError> {
+        self.manager.device_of(seq_id)
+    }
+
+    /// Number of cached tokens of the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownSequence`] if the id is not tracked.
+    pub fn num_tokens(&self, seq_id: u64) -> Result<usize, KvCacheError> {
+        self.manager.num_tokens_of(seq_id)
+    }
+
+    /// The sequence's block table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownSequence`] if the id is not tracked.
+    pub fn block_table(&self, seq_id: u64) -> Result<&BlockTable, KvCacheError> {
+        self.manager.block_table(seq_id)
+    }
+
+    /// The physical storage of `layer` on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn storage(&self, layer: usize, device: Device) -> &PagedStorage {
+        assert!(layer < self.n_layers, "layer {layer} out of range");
+        match device {
+            Device::Gpu => &self.gpu_layers[layer],
+            Device::Cpu => &self.cpu_layers[layer],
+        }
+    }
+
+    /// Writes the K/V vectors of logical token `token_idx` of `seq_id` in `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError`] if the sequence is unknown or the index is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range or the vectors have the wrong length.
+    pub fn write_kv(
+        &mut self,
+        layer: usize,
+        seq_id: u64,
+        token_idx: usize,
+        k: &[f32],
+        v: &[f32],
+    ) -> Result<(), KvCacheError> {
+        assert!(layer < self.n_layers, "layer {layer} out of range");
+        let device = self.manager.device_of(seq_id)?;
+        let (block, slot) = self.manager.block_table(seq_id)?.locate(token_idx)?;
+        let storage = match device {
+            Device::Gpu => &mut self.gpu_layers[layer],
+            Device::Cpu => &mut self.cpu_layers[layer],
+        };
+        storage.write_token(block, slot, k, v)
+    }
+
+    /// Moves a sequence (accounting **and** data, all layers) to the other device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvCacheError`] from the manager; on error nothing is moved.
+    pub fn swap(&mut self, seq_id: u64, to: Device) -> Result<SwapStats, KvCacheError> {
+        let old_device = self.manager.device_of(seq_id)?;
+        let old_table = self.manager.block_table(seq_id)?.clone();
+        let stats = self.manager.swap(seq_id, to)?;
+        let new_table = self.manager.block_table(seq_id)?.clone();
+        // Copy every layer's K/V entries from the old device's blocks (whose contents are
+        // still intact — only the accounting released them) into the new blocks.
+        for layer in 0..self.n_layers {
+            let (src, dst): (&PagedStorage, &mut PagedStorage) = match (old_device, to) {
+                (Device::Gpu, Device::Cpu) => {
+                    (&self.gpu_layers[layer], &mut self.cpu_layers[layer])
+                }
+                (Device::Cpu, Device::Gpu) => {
+                    (&self.cpu_layers[layer], &mut self.gpu_layers[layer])
+                }
+                _ => unreachable!("manager rejects same-device swaps"),
+            };
+            dst.copy_sequence_from(src, &old_table, &new_table)?;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> (ModelDesc, PagedKvCache) {
+        let desc = ModelDesc::tiny();
+        let cache = PagedKvCache::new(&desc, 4, 64, 256);
+        (desc, cache)
+    }
+
+    #[test]
+    fn allocate_write_read_round_trip() {
+        let (desc, mut c) = cache();
+        c.allocate(1, 5, Device::Gpu).unwrap();
+        let kv_len = desc.n_kv_heads * desc.head_dim;
+        let k = vec![1.5f32; kv_len];
+        let v = vec![-0.5f32; kv_len];
+        c.write_kv(0, 1, 3, &k, &v).unwrap();
+        let table = c.block_table(1).unwrap();
+        let (b, s) = table.locate(3).unwrap();
+        assert_eq!(c.storage(0, Device::Gpu).read_k(b, s).unwrap(), &k[..]);
+        assert_eq!(c.storage(0, Device::Gpu).read_v(b, s).unwrap(), &v[..]);
+    }
+
+    #[test]
+    fn swap_preserves_data_across_all_layers() {
+        let (desc, mut c) = cache();
+        let kv_len = desc.n_kv_heads * desc.head_dim;
+        c.allocate(9, 6, Device::Gpu).unwrap();
+        for layer in 0..desc.n_layers {
+            for tok in 0..6 {
+                let k = vec![(layer * 10 + tok) as f32; kv_len];
+                let v = vec![(layer * 10 + tok) as f32 + 0.5; kv_len];
+                c.write_kv(layer, 9, tok, &k, &v).unwrap();
+            }
+        }
+        let stats = c.swap(9, Device::Cpu).unwrap();
+        assert_eq!(stats.tokens, 6);
+        assert_eq!(c.device_of(9).unwrap(), Device::Cpu);
+        for layer in 0..desc.n_layers {
+            let table = c.block_table(9).unwrap().clone();
+            for tok in 0..6 {
+                let (b, s) = table.locate(tok).unwrap();
+                let k = c.storage(layer, Device::Cpu).read_k(b, s).unwrap();
+                assert_eq!(k[0], (layer * 10 + tok) as f32, "layer {layer} token {tok}");
+            }
+        }
+        // And back again.
+        c.swap(9, Device::Gpu).unwrap();
+        let table = c.block_table(9).unwrap().clone();
+        let (b, s) = table.locate(5).unwrap();
+        assert_eq!(c.storage(1, Device::Gpu).read_k(b, s).unwrap()[0], 15.0);
+    }
+
+    #[test]
+    fn append_then_write_new_slot() {
+        let (desc, mut c) = cache();
+        let kv_len = desc.n_kv_heads * desc.head_dim;
+        c.allocate(2, 3, Device::Cpu).unwrap();
+        c.append(2, 1).unwrap();
+        assert_eq!(c.num_tokens(2).unwrap(), 4);
+        c.write_kv(1, 2, 3, &vec![2.0; kv_len], &vec![3.0; kv_len]).unwrap();
+    }
+
+    #[test]
+    fn free_releases_capacity() {
+        let (_, mut c) = cache();
+        c.allocate(1, 60, Device::Gpu).unwrap();
+        assert!(c.allocate(2, 60, Device::Gpu).is_err());
+        assert_eq!(c.free(1).unwrap(), 60);
+        c.allocate(2, 60, Device::Gpu).unwrap();
+    }
+
+    #[test]
+    fn unknown_sequence_errors() {
+        let (_, mut c) = cache();
+        assert!(c.device_of(404).is_err());
+        assert!(c.swap(404, Device::Cpu).is_err());
+        assert!(c.write_kv(0, 404, 0, &[0.0; 32], &[0.0; 32]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_layer_panics() {
+        let (_, c) = cache();
+        let _ = c.storage(99, Device::Gpu);
+    }
+}

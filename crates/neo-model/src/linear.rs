@@ -1,0 +1,222 @@
+//! Dense linear algebra primitives for the functional model.
+//!
+//! Only what a LLaMa block needs: a row-major dense matrix–vector/matrix product
+//! (the "linear stage" of the paper), RMSNorm, and the SiLU activation used by SwiGLU.
+
+use rayon::prelude::*;
+
+/// A dense, row-major weight matrix computing `y = W x` (`W` is `[rows, cols]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    rows: usize,
+    cols: usize,
+    weight: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a linear layer from a row-major weight buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight.len() != rows * cols` or either dimension is zero.
+    pub fn new(rows: usize, cols: usize, weight: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        assert_eq!(weight.len(), rows * cols, "weight buffer has wrong length");
+        Self { rows, cols, weight }
+    }
+
+    /// Output dimension.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input dimension.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Computes `y = W x` for a single input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "input vector has wrong length");
+        let mut y = vec![0.0f32; self.rows];
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Computes `y = W x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "input vector has wrong length");
+        assert_eq!(y.len(), self.rows, "output vector has wrong length");
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = &self.weight[r * self.cols..(r + 1) * self.cols];
+            *out = row.iter().zip(x).map(|(w, v)| w * v).sum();
+        }
+    }
+
+    /// Computes `Y = X Wᵀ` for a batch of `n` row vectors laid out `[n, cols]`, returning
+    /// `[n, rows]`. Rows are processed in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of `cols`.
+    pub fn forward_batch(&self, x: &[f32]) -> Vec<f32> {
+        assert!(x.len() % self.cols == 0, "batch buffer must contain whole rows");
+        let n = x.len() / self.cols;
+        let mut y = vec![0.0f32; n * self.rows];
+        y.par_chunks_mut(self.rows).zip(x.par_chunks(self.cols)).for_each(|(out, row)| {
+            self.forward_into(row, out);
+        });
+        y
+    }
+}
+
+/// Root-mean-square layer normalisation: `x * rsqrt(mean(x^2) + eps) * gain`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmsNorm {
+    gain: Vec<f32>,
+    eps: f32,
+}
+
+impl RmsNorm {
+    /// Creates an RMSNorm with the given gain vector and epsilon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is empty.
+    pub fn new(gain: Vec<f32>, eps: f32) -> Self {
+        assert!(!gain.is_empty(), "gain must not be empty");
+        Self { gain, eps }
+    }
+
+    /// Normalised size.
+    pub fn dim(&self) -> usize {
+        self.gain.len()
+    }
+
+    /// Applies the normalisation, returning a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.gain.len(), "input has wrong length");
+        let mean_sq = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+        let scale = 1.0 / (mean_sq + self.eps).sqrt();
+        x.iter().zip(&self.gain).map(|(v, g)| v * scale * g).collect()
+    }
+}
+
+/// SiLU (swish) activation, `x * sigmoid(x)`, applied element-wise.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Element-wise SwiGLU combine: `silu(gate) * up`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn swiglu(gate: &[f32], up: &[f32]) -> Vec<f32> {
+    assert_eq!(gate.len(), up.len(), "gate and up must have the same length");
+    gate.iter().zip(up).map(|(&g, &u)| silu(g) * u).collect()
+}
+
+/// Adds `rhs` into `lhs` element-wise (residual connection).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_inplace(lhs: &mut [f32], rhs: &[f32]) {
+    assert_eq!(lhs.len(), rhs.len(), "residual add requires equal lengths");
+    for (a, b) in lhs.iter_mut().zip(rhs) {
+        *a += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_matches_hand_computation() {
+        // W = [[1, 2], [3, 4], [5, 6]], x = [1, -1] => y = [-1, -1, -1].
+        let w = Linear::new(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(w.forward(&[1.0, -1.0]), vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn linear_batch_matches_single() {
+        let w = Linear::new(4, 3, (0..12).map(|i| i as f32 * 0.1).collect());
+        let x1 = [1.0, 2.0, 3.0];
+        let x2 = [-1.0, 0.5, 0.0];
+        let batch: Vec<f32> = x1.iter().chain(x2.iter()).copied().collect();
+        let out = w.forward_batch(&batch);
+        assert_eq!(&out[0..4], &w.forward(&x1)[..]);
+        assert_eq!(&out[4..8], &w.forward(&x2)[..]);
+    }
+
+    #[test]
+    fn identity_linear_is_identity() {
+        let mut weight = vec![0.0f32; 9];
+        for i in 0..3 {
+            weight[i * 3 + i] = 1.0;
+        }
+        let w = Linear::new(3, 3, weight);
+        assert_eq!(w.forward(&[7.0, -2.0, 0.5]), vec![7.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn rmsnorm_produces_unit_rms_with_unit_gain() {
+        let n = RmsNorm::new(vec![1.0; 4], 1e-6);
+        let y = n.forward(&[2.0, -2.0, 2.0, -2.0]);
+        let rms = (y.iter().map(|v| v * v).sum::<f32>() / 4.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rmsnorm_is_scale_invariant_up_to_gain() {
+        let n = RmsNorm::new(vec![1.0; 3], 1e-6);
+        let a = n.forward(&[1.0, 2.0, 3.0]);
+        let b = n.forward(&[10.0, 20.0, 30.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn silu_and_swiglu_behave() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(5.0) > 4.9);
+        assert!(silu(-5.0) > -0.1 && silu(-5.0) < 0.0);
+        let out = swiglu(&[0.0, 10.0], &[3.0, 2.0]);
+        assert_eq!(out[0], 0.0);
+        assert!((out[1] - 2.0 * silu(10.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn residual_add_accumulates() {
+        let mut a = vec![1.0, 2.0];
+        add_inplace(&mut a, &[0.5, -2.0]);
+        assert_eq!(a, vec![1.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn linear_wrong_input_panics() {
+        Linear::new(2, 2, vec![0.0; 4]).forward(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn linear_bad_weight_len_panics() {
+        let _ = Linear::new(2, 3, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Randomly initialised model weights for the functional transformer.
+
+use neo_sim::ModelDesc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::linear::{Linear, RmsNorm};
+
+/// Weights of one transformer layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Pre-attention RMSNorm gain.
+    pub input_norm: RmsNorm,
+    /// Query projection (`[n_heads * head_dim, hidden]`).
+    pub wq: Linear,
+    /// Key projection (`[n_kv_heads * head_dim, hidden]`).
+    pub wk: Linear,
+    /// Value projection (`[n_kv_heads * head_dim, hidden]`).
+    pub wv: Linear,
+    /// Output projection (`[hidden, n_heads * head_dim]`).
+    pub wo: Linear,
+    /// Pre-FFN RMSNorm gain.
+    pub post_norm: RmsNorm,
+    /// SwiGLU gate projection (`[intermediate, hidden]`).
+    pub w_gate: Linear,
+    /// SwiGLU up projection (`[intermediate, hidden]`).
+    pub w_up: Linear,
+    /// SwiGLU down projection (`[hidden, intermediate]`).
+    pub w_down: Linear,
+}
+
+/// All weights of the functional model.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// Architecture this weight set instantiates.
+    pub desc: ModelDesc,
+    /// Token embedding table, `[vocab, hidden]` row-major.
+    pub embed: Vec<f32>,
+    /// Transformer layers.
+    pub layers: Vec<LayerWeights>,
+    /// Final RMSNorm before the LM head.
+    pub final_norm: RmsNorm,
+    /// LM head (`[vocab, hidden]`).
+    pub lm_head: Linear,
+}
+
+fn random_linear(rng: &mut StdRng, rows: usize, cols: usize) -> Linear {
+    // Xavier-ish scale keeps activations bounded through many layers.
+    let scale = (2.0 / (rows + cols) as f32).sqrt();
+    let weight = (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect();
+    Linear::new(rows, cols, weight)
+}
+
+impl ModelWeights {
+    /// Builds a randomly initialised weight set for `desc` using the given RNG seed.
+    ///
+    /// Intended for the tiny/small descriptors; instantiating a 70B descriptor would try to
+    /// allocate hundreds of gigabytes.
+    pub fn random(desc: &ModelDesc, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = desc.hidden;
+        let q_dim = desc.n_heads * desc.head_dim;
+        let kv_dim = desc.n_kv_heads * desc.head_dim;
+
+        let layers = (0..desc.n_layers)
+            .map(|_| LayerWeights {
+                input_norm: RmsNorm::new(vec![1.0; h], 1e-5),
+                wq: random_linear(&mut rng, q_dim, h),
+                wk: random_linear(&mut rng, kv_dim, h),
+                wv: random_linear(&mut rng, kv_dim, h),
+                wo: random_linear(&mut rng, h, q_dim),
+                post_norm: RmsNorm::new(vec![1.0; h], 1e-5),
+                w_gate: random_linear(&mut rng, desc.intermediate, h),
+                w_up: random_linear(&mut rng, desc.intermediate, h),
+                w_down: random_linear(&mut rng, h, desc.intermediate),
+            })
+            .collect();
+
+        let embed_scale = (1.0 / h as f32).sqrt();
+        let embed = (0..desc.vocab * h).map(|_| rng.gen_range(-embed_scale..embed_scale)).collect();
+
+        Self {
+            desc: desc.clone(),
+            embed,
+            layers,
+            final_norm: RmsNorm::new(vec![1.0; h], 1e-5),
+            lm_head: random_linear(&mut rng, desc.vocab, h),
+        }
+    }
+
+    /// The embedding row of token `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the vocabulary.
+    pub fn embedding(&self, id: u32) -> &[f32] {
+        let id = id as usize;
+        assert!(id < self.desc.vocab, "token id {id} outside vocabulary of {}", self.desc.vocab);
+        &self.embed[id * self.desc.hidden..(id + 1) * self.desc.hidden]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_weights_have_right_shapes() {
+        let desc = ModelDesc::tiny();
+        let w = ModelWeights::random(&desc, 1);
+        assert_eq!(w.layers.len(), desc.n_layers);
+        assert_eq!(w.embed.len(), desc.vocab * desc.hidden);
+        let l = &w.layers[0];
+        assert_eq!(l.wq.rows(), desc.n_heads * desc.head_dim);
+        assert_eq!(l.wk.rows(), desc.n_kv_heads * desc.head_dim);
+        assert_eq!(l.wo.cols(), desc.n_heads * desc.head_dim);
+        assert_eq!(l.w_down.cols(), desc.intermediate);
+        assert_eq!(w.lm_head.rows(), desc.vocab);
+    }
+
+    #[test]
+    fn same_seed_same_weights_different_seed_different() {
+        let desc = ModelDesc::tiny();
+        let a = ModelWeights::random(&desc, 7);
+        let b = ModelWeights::random(&desc, 7);
+        let c = ModelWeights::random(&desc, 8);
+        assert_eq!(a.embed, b.embed);
+        assert_ne!(a.embed, c.embed);
+    }
+
+    #[test]
+    fn embedding_lookup_returns_the_row() {
+        let desc = ModelDesc::tiny();
+        let w = ModelWeights::random(&desc, 2);
+        let row = w.embedding(5);
+        assert_eq!(row.len(), desc.hidden);
+        assert_eq!(row, &w.embed[5 * desc.hidden..6 * desc.hidden]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_embedding_panics() {
+        let desc = ModelDesc::tiny();
+        let w = ModelWeights::random(&desc, 3);
+        let _ = w.embedding(desc.vocab as u32);
+    }
+}

@@ -1,0 +1,21 @@
+//! Online and offline serving harnesses plus latency/throughput metrics.
+//!
+//! The paper's evaluation has two measurement modes:
+//!
+//! * **Online** (§5.2, Figures 6, 7, 8a): requests arrive over time following a Poisson
+//!   process; the metric is the *average per-token latency* (request latency divided by
+//!   its output length) as a function of the offered request rate.
+//! * **Offline** (§5.4, §5.5, Figures 8b, 9, 10): the whole trace is fed at once; the
+//!   metric is token throughput — total tokens processed (input + output) divided by the
+//!   total elapsed time — usually reported relative to the GPU-only baseline.
+//!
+//! [`online::run_online`] and [`offline::run_offline`] drive a [`neo_core::Engine`]
+//! (with any scheduler) over a [`neo_workload::Trace`] and collect those metrics.
+
+pub mod metrics;
+pub mod offline;
+pub mod online;
+
+pub use metrics::{Cdf, LatencySummary};
+pub use offline::{run_offline, OfflineResult};
+pub use online::{run_online, OnlineResult};

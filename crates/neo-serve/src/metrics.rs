@@ -1,0 +1,151 @@
+//! Latency and throughput metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over latency samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (order does not matter).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|s| s.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), or `None` for an empty CDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted.partition_point(|&s| s <= x);
+        below as f64 / self.sorted.len() as f64
+    }
+
+    /// `(value, cumulative_fraction)` points for plotting, one per sample.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Mean of the samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+    }
+}
+
+/// Summary of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of requests measured.
+    pub count: usize,
+    /// Mean latency in seconds.
+    pub mean: f64,
+    /// Median (p50) latency.
+    pub p50: f64,
+    /// 90th percentile latency.
+    pub p90: f64,
+    /// 99th percentile latency.
+    pub p99: f64,
+    /// Maximum observed latency.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a set of latency samples; returns `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        let cdf = Cdf::new(samples.to_vec());
+        if cdf.is_empty() {
+            return None;
+        }
+        Some(Self {
+            count: cdf.len(),
+            mean: cdf.mean().expect("non-empty"),
+            p50: cdf.quantile(0.5).expect("non-empty"),
+            p90: cdf.quantile(0.9).expect("non-empty"),
+            p99: cdf.quantile(0.99).expect("non-empty"),
+            max: cdf.quantile(1.0).expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let cdf = Cdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(cdf.len(), 100);
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(100.0));
+        let median = cdf.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn fraction_below_is_monotone() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_below(2.0), 0.5);
+        assert_eq!(cdf.fraction_below(10.0), 1.0);
+        let points = cdf.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_handled() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.mean(), None);
+        assert_eq!(cdf.fraction_below(1.0), 0.0);
+        assert!(LatencySummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let cdf = Cdf::new(vec![1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let samples: Vec<f64> = (1..=1000).map(|i| (i as f64).sqrt()).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!(s.mean > 0.0);
+        assert_eq!(s.count, 1000);
+    }
+}

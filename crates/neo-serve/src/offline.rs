@@ -1,0 +1,152 @@
+//! Offline (batch) throughput: feed the whole trace at once and measure token throughput.
+
+use neo_core::request::Request;
+use neo_core::Engine;
+use neo_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Result of one offline throughput run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfflineResult {
+    /// Number of requests completed.
+    pub completed: usize,
+    /// Total simulated time to drain the trace (makespan), in seconds.
+    pub makespan: f64,
+    /// Token throughput: (input + output tokens) / makespan — the metric of §5.5.
+    pub token_throughput: f64,
+    /// Output-token throughput: output tokens / makespan.
+    pub decode_throughput: f64,
+    /// Request throughput: requests / makespan.
+    pub request_throughput: f64,
+    /// Fraction of non-idle iterations that offloaded attention to the CPU.
+    pub offload_fraction: f64,
+    /// Fraction of non-idle iterations that ran in asymmetric (two-sub-batch) mode.
+    pub asymmetric_fraction: f64,
+}
+
+/// Runs the engine over the trace with all requests submitted at time zero.
+///
+/// # Panics
+///
+/// Panics if the trace is empty or the run exceeds `max_iterations` (scheduler livelock).
+pub fn run_offline(mut engine: Engine, trace: &Trace, max_iterations: u64) -> OfflineResult {
+    assert!(!trace.is_empty(), "cannot run an empty trace");
+    for (i, r) in trace.requests().iter().enumerate() {
+        engine.submit(Request::new(i as u64, 0.0, r.prompt_len, r.output_len));
+    }
+    let total = trace.len();
+
+    let mut iterations = 0u64;
+    let mut busy = 0u64;
+    let mut offloaded = 0u64;
+    let mut asymmetric = 0u64;
+    while !engine.is_idle() {
+        let report = engine.step();
+        if !report.idle {
+            busy += 1;
+            if report.cpu_offloaded > 0 {
+                offloaded += 1;
+            }
+            if report.mode == neo_core::ExecutionMode::Asymmetric {
+                asymmetric += 1;
+            }
+        }
+        iterations += 1;
+        assert!(
+            iterations < max_iterations,
+            "offline run exceeded {max_iterations} iterations with {} of {} requests done",
+            engine.completed().len(),
+            total
+        );
+    }
+    assert_eq!(engine.completed().len(), total, "all requests must finish");
+
+    let makespan = engine.now().max(1e-9);
+    let input_tokens: u64 = engine.completed().iter().map(|r| r.prompt_len as u64).sum();
+    let output_tokens: u64 = engine.completed().iter().map(|r| r.output_len as u64).sum();
+    OfflineResult {
+        completed: total,
+        makespan,
+        token_throughput: (input_tokens + output_tokens) as f64 / makespan,
+        decode_throughput: output_tokens as f64 / makespan,
+        request_throughput: total as f64 / makespan,
+        offload_fraction: offloaded as f64 / busy.max(1) as f64,
+        asymmetric_fraction: asymmetric as f64 / busy.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_baselines::GpuOnlyScheduler;
+    use neo_core::config::EngineConfig;
+    use neo_core::scheduler::NeoScheduler;
+    use neo_sim::{CostModel, ModelDesc, Testbed};
+    use neo_workload::{synthetic, ArrivalProcess};
+
+    fn t4_engine(neo: bool) -> Engine {
+        let cost = CostModel::new(ModelDesc::llama2_7b(), Testbed::g4dn_4xlarge(), 1);
+        let sched: Box<dyn neo_core::Scheduler> = if neo {
+            Box::new(NeoScheduler::new())
+        } else {
+            Box::new(GpuOnlyScheduler::swiftllm_like())
+        };
+        Engine::new(cost, EngineConfig::default(), sched)
+    }
+
+    fn a10g_engine(neo: bool) -> Engine {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        let sched: Box<dyn neo_core::Scheduler> = if neo {
+            Box::new(NeoScheduler::new())
+        } else {
+            Box::new(GpuOnlyScheduler::swiftllm_like())
+        };
+        Engine::new(cost, EngineConfig::default(), sched)
+    }
+
+    #[test]
+    fn offline_metrics_are_consistent() {
+        let trace = synthetic(60, 200, 50, ArrivalProcess::AllAtOnce, 3);
+        let r = run_offline(a10g_engine(true), &trace, 2_000_000);
+        assert_eq!(r.completed, 60);
+        assert!(r.makespan > 0.0);
+        assert!(r.token_throughput > r.decode_throughput);
+        assert!((r.request_throughput - 60.0 / r.makespan).abs() < 1e-9);
+        assert!(r.offload_fraction >= 0.0 && r.offload_fraction <= 1.0);
+    }
+
+    #[test]
+    fn neo_beats_gpu_only_on_memory_constrained_t4() {
+        // The headline mechanism: on the 16 GB T4 serving LLaMa-2-7B, the GPU can hold
+        // only a handful of requests' KV; NEO's CPU offload lifts throughput
+        // substantially (the paper reports up to 7.5x on this testbed).
+        let trace = synthetic(96, 200, 80, ArrivalProcess::AllAtOnce, 5);
+        let gpu_only = run_offline(t4_engine(false), &trace, 5_000_000);
+        let neo = run_offline(t4_engine(true), &trace, 5_000_000);
+        let gain = neo.token_throughput / gpu_only.token_throughput;
+        assert!(
+            gain > 1.2,
+            "NEO should clearly beat GPU-only on the T4: gain {gain:.2} (neo {:.1} vs gpu {:.1} tok/s)",
+            neo.token_throughput,
+            gpu_only.token_throughput
+        );
+        assert!(neo.offload_fraction > 0.0);
+    }
+
+    #[test]
+    fn neo_does_not_lose_badly_when_memory_is_plentiful() {
+        // With ample GPU memory (A10G + small workload) NEO falls back to GPU-only-like
+        // behaviour and stays within a few percent of the baseline (§5.4).
+        let trace = synthetic(40, 100, 20, ArrivalProcess::AllAtOnce, 6);
+        let gpu_only = run_offline(a10g_engine(false), &trace, 2_000_000);
+        let neo = run_offline(a10g_engine(true), &trace, 2_000_000);
+        let ratio = neo.token_throughput / gpu_only.token_throughput;
+        assert!(ratio > 0.9, "NEO must not collapse when offloading does not help: {ratio:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let _ = run_offline(a10g_engine(false), &Trace::default(), 100);
+    }
+}

@@ -1,0 +1,197 @@
+//! Online serving: Poisson arrivals driven through the engine in simulated time.
+
+use neo_core::request::Request;
+use neo_core::Engine;
+use neo_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{Cdf, LatencySummary};
+
+/// Result of one online serving run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineResult {
+    /// Scheduling policy that produced this result.
+    pub scheduler: String,
+    /// Offered request rate (requests per second), as recorded by the caller.
+    pub request_rate: f64,
+    /// Number of requests completed.
+    pub completed: usize,
+    /// Average per-token latency (each request's latency divided by its output length,
+    /// averaged over requests) — the y-axis of Figure 6.
+    pub avg_per_token_latency: f64,
+    /// Per-token latency summary (p50/p90/p99).
+    pub per_token_latency: LatencySummary,
+    /// End-to-end latency summary.
+    pub request_latency: LatencySummary,
+    /// Mean time to first token.
+    pub mean_ttft: f64,
+    /// Output-token throughput over the whole run (generated tokens / makespan).
+    pub decode_throughput: f64,
+    /// Total simulated time of the run.
+    pub makespan: f64,
+    /// Fraction of iterations that chose CPU offloading (NEO diagnostics).
+    pub offload_fraction: f64,
+    /// All per-token latency samples (for CDF plots, Figure 7).
+    pub per_token_samples: Vec<f64>,
+}
+
+impl OnlineResult {
+    /// The per-token latency CDF of this run.
+    pub fn cdf(&self) -> Cdf {
+        Cdf::new(self.per_token_samples.clone())
+    }
+}
+
+/// Runs the engine over the trace with its real arrival times and collects latency
+/// metrics. `request_rate` is recorded in the result for labelling; the arrival times in
+/// the trace are authoritative.
+///
+/// # Panics
+///
+/// Panics if the trace is empty or if the run exceeds `max_iterations` without finishing
+/// (which indicates a scheduler livelock).
+pub fn run_online(
+    mut engine: Engine,
+    trace: &Trace,
+    request_rate: f64,
+    max_iterations: u64,
+) -> OnlineResult {
+    assert!(!trace.is_empty(), "cannot serve an empty trace");
+    let scheduler = engine.scheduler_name().to_string();
+    let requests: Vec<Request> = trace
+        .requests()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Request::new(i as u64, r.arrival, r.prompt_len, r.output_len))
+        .collect();
+    let total = requests.len();
+
+    let mut pending = requests.into_iter().peekable();
+    let mut iterations = 0u64;
+    let mut offload_iterations = 0u64;
+    let mut busy_iterations = 0u64;
+
+    loop {
+        // Admit every request that has arrived by the current simulated time.
+        while pending.peek().map(|r| r.arrival_time <= engine.now()).unwrap_or(false) {
+            let r = pending.next().expect("peeked");
+            engine.submit(r);
+        }
+        if engine.is_idle() {
+            match pending.peek() {
+                Some(next) => {
+                    let t = next.arrival_time;
+                    engine.advance_to(t.max(engine.now()));
+                    continue;
+                }
+                None => break,
+            }
+        }
+        let report = engine.step();
+        if !report.idle {
+            busy_iterations += 1;
+            if report.cpu_offloaded > 0 {
+                offload_iterations += 1;
+            }
+        }
+        iterations += 1;
+        assert!(
+            iterations < max_iterations,
+            "online run exceeded {max_iterations} iterations with {} of {} requests done",
+            engine.completed().len(),
+            total
+        );
+    }
+
+    let completed = engine.completed();
+    assert_eq!(completed.len(), total, "all submitted requests must finish");
+    let per_token_samples: Vec<f64> =
+        completed.iter().filter_map(|r| r.per_token_latency()).collect();
+    let request_latencies: Vec<f64> = completed.iter().filter_map(|r| r.latency()).collect();
+    let ttfts: Vec<f64> = completed.iter().filter_map(|r| r.ttft()).collect();
+    let makespan = engine.now();
+    let decode_tokens = engine.total_decode_tokens();
+
+    OnlineResult {
+        scheduler,
+        request_rate,
+        completed: completed.len(),
+        avg_per_token_latency: per_token_samples.iter().sum::<f64>()
+            / per_token_samples.len().max(1) as f64,
+        per_token_latency: LatencySummary::from_samples(&per_token_samples)
+            .expect("at least one request"),
+        request_latency: LatencySummary::from_samples(&request_latencies)
+            .expect("at least one request"),
+        mean_ttft: ttfts.iter().sum::<f64>() / ttfts.len().max(1) as f64,
+        decode_throughput: decode_tokens as f64 / makespan.max(1e-9),
+        makespan,
+        offload_fraction: offload_iterations as f64 / busy_iterations.max(1) as f64,
+        per_token_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_baselines::GpuOnlyScheduler;
+    use neo_core::config::EngineConfig;
+    use neo_core::scheduler::NeoScheduler;
+    use neo_sim::{CostModel, ModelDesc, Testbed};
+    use neo_workload::{osc_like, ArrivalProcess};
+
+    fn engine(neo: bool) -> Engine {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        let sched: Box<dyn neo_core::Scheduler> = if neo {
+            Box::new(NeoScheduler::new())
+        } else {
+            Box::new(GpuOnlyScheduler::vllm_like())
+        };
+        Engine::new(cost, EngineConfig::default(), sched)
+    }
+
+    fn small_trace(rate: f64) -> Trace {
+        osc_like(40, ArrivalProcess::Poisson { rate }, 11)
+    }
+
+    #[test]
+    fn online_run_completes_and_reports_sane_metrics() {
+        let result = run_online(engine(true), &small_trace(2.0), 2.0, 2_000_000);
+        assert_eq!(result.completed, 40);
+        assert!(result.avg_per_token_latency > 0.0);
+        assert!(result.per_token_latency.p50 <= result.per_token_latency.p99);
+        assert!(result.makespan > 0.0);
+        assert!(result.decode_throughput > 0.0);
+        assert!(result.mean_ttft > 0.0);
+        assert_eq!(result.per_token_samples.len(), 40);
+        assert_eq!(result.cdf().len(), 40);
+    }
+
+    #[test]
+    fn latency_grows_with_request_rate() {
+        // Queueing: at higher offered load the same engine shows higher per-token latency.
+        let low = run_online(engine(false), &small_trace(0.5), 0.5, 2_000_000);
+        let high = run_online(engine(false), &small_trace(20.0), 20.0, 2_000_000);
+        assert!(
+            high.avg_per_token_latency >= low.avg_per_token_latency,
+            "high load {} should not be faster than low load {}",
+            high.avg_per_token_latency,
+            low.avg_per_token_latency
+        );
+    }
+
+    #[test]
+    fn arrivals_are_respected() {
+        // With a very low rate, the engine should spend most wall-clock waiting, and the
+        // makespan is dominated by the last arrival.
+        let trace = small_trace(0.2);
+        let last_arrival = trace.requests().last().unwrap().arrival;
+        let result = run_online(engine(false), &trace, 0.2, 2_000_000);
+        assert!(result.makespan >= last_arrival);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let _ = run_online(engine(false), &Trace::default(), 1.0, 1000);
+    }
+}

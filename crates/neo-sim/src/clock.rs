@@ -1,0 +1,170 @@
+//! Simulation clock and event trace.
+//!
+//! The serving harness in `neo-serve` advances time iteration by iteration: the scheduler
+//! forms a batch, the cost model produces the iteration's duration, and the clock moves
+//! forward. This module provides the clock plus an optional bounded event trace used by
+//! tests and the figure harnesses to inspect what the engine did.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonically advancing simulated time, in seconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the clock by `dt` seconds and returns the new time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite — a negative iteration time always
+    /// indicates a cost-model bug and must not be silently absorbed.
+    pub fn advance(&mut self, dt: f64) -> f64 {
+        assert!(dt.is_finite() && dt >= 0.0, "clock must advance by a non-negative amount");
+        self.now += dt;
+        self.now
+    }
+
+    /// Moves the clock directly to `t`, which must not be in the past.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time.
+    pub fn advance_to(&mut self, t: f64) -> f64 {
+        assert!(t + 1e-12 >= self.now, "cannot move the clock backwards");
+        self.now = self.now.max(t);
+        self.now
+    }
+}
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// Simulated time at which the event occurred.
+    pub time: f64,
+    /// Event category (e.g. `"iteration"`, `"swap_out"`, `"admit"`).
+    pub kind: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// A bounded in-memory trace of simulation events.
+///
+/// The trace keeps at most `capacity` most-recent events so long simulations do not
+/// accumulate unbounded memory.
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    events: std::collections::VecDeque<SimEvent>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl EventTrace {
+    /// Creates a trace retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self { events: std::collections::VecDeque::new(), capacity: capacity.max(1), dropped: 0 }
+    }
+
+    /// Records an event at time `time`.
+    pub fn record(&mut self, time: f64, kind: impl Into<String>, detail: impl Into<String>) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(SimEvent { time, kind: kind.into(), detail: detail.into() });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SimEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted because the trace was full.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(1.5);
+        c.advance(0.0);
+        c.advance(2.5);
+        assert!((c.now() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_to_is_clamped_to_future() {
+        let mut c = SimClock::new();
+        c.advance(10.0);
+        c.advance_to(10.0);
+        c.advance_to(12.0);
+        assert_eq!(c.now(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_to_past_panics() {
+        let mut c = SimClock::new();
+        c.advance(5.0);
+        c.advance_to(1.0);
+    }
+
+    #[test]
+    fn trace_bounds_memory() {
+        let mut t = EventTrace::new(3);
+        for i in 0..10 {
+            t.record(i as f64, "iteration", format!("{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let times: Vec<f64> = t.events().map(|e| e.time).collect();
+        assert_eq!(times, vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_trace_reports_empty() {
+        let t = EventTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Per-operator cost primitives for a model running on a testbed.
+//!
+//! The NEO scheduler (§3.2 of the paper) estimates each iteration's duration as
+//!
+//! ```text
+//! T ≈ L × ( max{Tl0, Tca1} + max{Tl1 + Tga0, Tca0} )
+//! ```
+//!
+//! where `Tl` is the per-layer linear-stage time of a sub-batch on the GPU, `Tga` the
+//! per-layer GPU attention time and `Tca` the per-layer CPU attention time. This module
+//! provides those per-layer primitives (plus memory-capacity accounting, PCIe swap times
+//! and tensor-parallel all-reduce) from the roofline model; the combination into the
+//! iteration formula lives in `neo-core`.
+
+use crate::hardware::Testbed;
+use crate::model_desc::ModelDesc;
+use crate::roofline::{OpWork, Roofline};
+
+/// Sustained DRAM read bandwidth a single CPU core can extract (bytes/s). The effective
+/// CPU attention bandwidth is capped at `cores × PER_CORE_STREAM_BW` so that small
+/// instances (e.g. g5.2xlarge with 4 cores) cannot saturate the socket bandwidth, matching
+/// the observation behind Figure 10a.
+const PER_CORE_STREAM_BW: f64 = 16e9;
+
+/// Cost model for one (model, testbed, tensor-parallel degree) combination.
+///
+/// All `*_time_*` methods return **seconds for a single transformer layer** unless stated
+/// otherwise, matching the per-layer formulation of the paper's scheduler.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    model: ModelDesc,
+    testbed: Testbed,
+    tp: usize,
+    gpu: Roofline,
+    cpu: Roofline,
+    /// Largest number of batched tokens the engine will ever schedule; activations for
+    /// this many tokens are reserved when computing the GPU KV budget.
+    max_batch_tokens: usize,
+    /// Fraction of the tensor-parallel all-reduce hidden behind compute (0.0 = fully
+    /// exposed, as in a simple TP implementation; production engines overlap part of it).
+    allreduce_overlap: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    ///
+    /// `tp` is the tensor-parallel degree (1 for single-GPU testbeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` is zero or exceeds the number of GPUs in the testbed.
+    pub fn new(model: ModelDesc, testbed: Testbed, tp: usize) -> Self {
+        assert!(tp >= 1, "tensor-parallel degree must be at least 1");
+        assert!(tp <= testbed.num_gpus, "tensor-parallel degree exceeds GPU count");
+        let gpu = Roofline::new(
+            testbed.gpu_eff_flops(),
+            testbed.gpu_eff_bw(),
+            testbed.gpu.kernel_launch_overhead,
+        );
+        let cpu_bw = testbed
+            .cpu_eff_bw()
+            .min(testbed.cpu.cores as f64 * PER_CORE_STREAM_BW);
+        let cpu = Roofline::new(testbed.cpu.flops, cpu_bw, testbed.cpu.dispatch_overhead);
+        Self { model, testbed, tp, gpu, cpu, max_batch_tokens: 8192, allreduce_overlap: 0.0 }
+    }
+
+    /// Overrides the number of batched tokens reserved for activations (default 8192).
+    pub fn with_max_batch_tokens(mut self, tokens: usize) -> Self {
+        self.max_batch_tokens = tokens.max(1);
+        self
+    }
+
+    /// Sets the fraction of the tensor-parallel all-reduce hidden behind compute
+    /// (clamped to `[0, 1]`). Production engines such as vLLM overlap part of the
+    /// collective; the SwiftLLM-like baseline does not (Figure 10b's 2-GPU gap).
+    pub fn with_allreduce_overlap(mut self, fraction: f64) -> Self {
+        self.allreduce_overlap = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The model this cost model describes.
+    pub fn model(&self) -> &ModelDesc {
+        &self.model
+    }
+
+    /// The testbed this cost model describes.
+    pub fn testbed(&self) -> &Testbed {
+        &self.testbed
+    }
+
+    /// Tensor-parallel degree.
+    pub fn tp(&self) -> usize {
+        self.tp
+    }
+
+    /// GPU roofline used for operator estimates.
+    pub fn gpu_roofline(&self) -> Roofline {
+        self.gpu
+    }
+
+    /// CPU roofline used for operator estimates.
+    pub fn cpu_roofline(&self) -> Roofline {
+        self.cpu
+    }
+
+    // ------------------------------------------------------------------
+    // Memory accounting
+    // ------------------------------------------------------------------
+
+    /// Bytes of model weights resident on each GPU (weights are sharded across the
+    /// tensor-parallel group).
+    pub fn weight_bytes_per_gpu(&self) -> u64 {
+        self.model.weight_bytes() / self.tp as u64
+    }
+
+    /// Bytes of KV cache one token occupies on each GPU (KV heads are sharded).
+    pub fn kv_bytes_per_token_per_gpu(&self) -> usize {
+        self.model.kv_bytes_per_token() / self.tp
+    }
+
+    /// Bytes of KV cache one token occupies across the whole tensor-parallel group
+    /// (i.e. the host-side size when the token is offloaded).
+    pub fn kv_bytes_per_token(&self) -> usize {
+        self.model.kv_bytes_per_token()
+    }
+
+    /// Number of tokens the GPU KV cache can hold across the tensor-parallel group after
+    /// reserving weights and peak activations.
+    ///
+    /// This is the quantity that collapses on memory-constrained GPUs (16 GB T4 serving a
+    /// 13 GB LLaMa-2-7B keeps only a sliver for KV), which is exactly the regime where the
+    /// paper reports up to 7.5× gains.
+    pub fn gpu_kv_capacity_tokens(&self) -> usize {
+        let per_gpu_budget = (self.testbed.gpu.mem_bytes as f64
+            * self.testbed.gpu_mem_utilization) as i64
+            - self.weight_bytes_per_gpu() as i64
+            - (self.model.activation_bytes(self.max_batch_tokens) / self.tp as u64) as i64;
+        if per_gpu_budget <= 0 {
+            return 0;
+        }
+        (per_gpu_budget as u64 / self.kv_bytes_per_token_per_gpu() as u64) as usize
+    }
+
+    /// Number of tokens the CPU (host DRAM) KV cache can hold.
+    pub fn cpu_kv_capacity_tokens(&self) -> usize {
+        (self.testbed.cpu_cache_bytes() / self.kv_bytes_per_token() as u64) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Per-layer GPU times
+    // ------------------------------------------------------------------
+
+    /// Per-layer time of the full linear stage (pre-projection + post-projection + FFN)
+    /// for a batch of `n_tokens` tokens on the GPU: `Tl = Tpr + Tpo`.
+    pub fn linear_time_gpu(&self, n_tokens: usize) -> f64 {
+        self.pre_projection_time_gpu(n_tokens) + self.post_projection_time_gpu(n_tokens)
+    }
+
+    /// Per-layer time of the pre-projection (QKV GEMM) for `n_tokens` tokens: `Tpr`.
+    pub fn pre_projection_time_gpu(&self, n_tokens: usize) -> f64 {
+        if n_tokens == 0 {
+            return 0.0;
+        }
+        let frac = self.model.pre_projection_flops_per_token()
+            / self.model.linear_flops_per_token_per_layer();
+        let work = OpWork::new(
+            n_tokens as f64 * self.model.pre_projection_flops_per_token() / self.tp as f64,
+            frac * self.model.linear_weight_bytes_per_layer() as f64 / self.tp as f64
+                + self.model.activation_bytes(n_tokens) as f64 * frac / self.tp as f64,
+        );
+        self.gpu.time(work)
+    }
+
+    /// Per-layer time of the post-projection + FFN for `n_tokens` tokens: `Tpo`,
+    /// including the tensor-parallel all-reduce when `tp > 1`.
+    pub fn post_projection_time_gpu(&self, n_tokens: usize) -> f64 {
+        if n_tokens == 0 {
+            return 0.0;
+        }
+        let frac = self.model.post_projection_flops_per_token()
+            / self.model.linear_flops_per_token_per_layer();
+        let work = OpWork::new(
+            n_tokens as f64 * self.model.post_projection_flops_per_token() / self.tp as f64,
+            frac * self.model.linear_weight_bytes_per_layer() as f64 / self.tp as f64
+                + self.model.activation_bytes(n_tokens) as f64 * frac / self.tp as f64,
+        );
+        self.gpu.time(work) + self.allreduce_time(n_tokens)
+    }
+
+    /// Per-layer GPU attention time for a mixed sub-batch: prefill chunks described by
+    /// `(new_tokens, total_context)` pairs plus decode tokens whose cached context lengths
+    /// sum to `decode_ctx_total` over `decode_reqs` requests: `Tga`.
+    pub fn gpu_attn_time(
+        &self,
+        prefill_chunks: &[(usize, usize)],
+        decode_ctx_total: usize,
+        decode_reqs: usize,
+    ) -> f64 {
+        if prefill_chunks.is_empty() && decode_reqs == 0 {
+            return 0.0;
+        }
+        let mut work = OpWork::default();
+        for &(new_tokens, ctx_total) in prefill_chunks {
+            work = work.combine(&OpWork::new(
+                self.model.prefill_attn_flops(new_tokens, ctx_total) / self.tp as f64,
+                // Prefill attention streams the (new) KV once plus activations.
+                (ctx_total * self.model.kv_bytes_per_token_per_layer()) as f64 / self.tp as f64,
+            ));
+        }
+        if decode_reqs > 0 {
+            work = work.combine(&OpWork::new(
+                self.model.decode_attn_flops(decode_ctx_total) / self.tp as f64,
+                self.model.decode_attn_bytes(decode_ctx_total) as f64 / self.tp as f64,
+            ));
+        }
+        self.gpu.time(work)
+    }
+
+    /// Per-layer GPU decode-attention time when only decode requests are present.
+    pub fn gpu_decode_attn_time(&self, ctx_total: usize, n_reqs: usize) -> f64 {
+        self.gpu_attn_time(&[], ctx_total, n_reqs)
+    }
+
+    // ------------------------------------------------------------------
+    // Per-layer CPU times
+    // ------------------------------------------------------------------
+
+    /// Per-layer CPU decode-attention time for `n_reqs` offloaded requests whose cached
+    /// context lengths sum to `ctx_total`: `Tca`.
+    ///
+    /// CPU attention is executed over *all* KV heads on the host regardless of the GPU
+    /// tensor-parallel degree (the host actors partition heads but share one NUMA node's
+    /// bandwidth, §4 of the paper).
+    pub fn cpu_decode_attn_time(&self, ctx_total: usize, n_reqs: usize) -> f64 {
+        if n_reqs == 0 || ctx_total == 0 {
+            return 0.0;
+        }
+        let work = OpWork::new(
+            self.model.decode_attn_flops(ctx_total),
+            self.model.decode_attn_bytes(ctx_total) as f64,
+        );
+        // Q/K/V transfer down + O transfer up for the offloaded tokens of this layer.
+        let qkvo = n_reqs as f64 * self.model.qkvo_transfer_bytes_per_token_per_layer() as f64;
+        let transfer = qkvo / self.testbed.pcie.bw_h2d + self.testbed.pcie.latency;
+        self.cpu.time(work) + transfer
+    }
+
+    // ------------------------------------------------------------------
+    // PCIe swap times
+    // ------------------------------------------------------------------
+
+    /// Time to swap the KV cache of `n_tokens` tokens out to the host for a single layer
+    /// (used when swap-out is overlapped layer by layer with compute, §3.1).
+    pub fn swap_out_time_per_layer(&self, n_tokens: usize) -> f64 {
+        if n_tokens == 0 {
+            return 0.0;
+        }
+        let bytes = (n_tokens * self.model.kv_bytes_per_token_per_layer()) as f64;
+        bytes / self.testbed.pcie.bw_d2h + self.testbed.pcie.latency
+    }
+
+    /// Time to swap the full-model KV cache of `n_tokens` tokens out to the host.
+    pub fn swap_out_time_total(&self, n_tokens: usize) -> f64 {
+        self.swap_out_time_per_layer(n_tokens) * self.model.n_layers as f64
+    }
+
+    /// Time to swap the KV cache of `n_tokens` tokens from the host into the GPU, for a
+    /// single layer.
+    pub fn swap_in_time_per_layer(&self, n_tokens: usize) -> f64 {
+        if n_tokens == 0 {
+            return 0.0;
+        }
+        let bytes = (n_tokens * self.model.kv_bytes_per_token_per_layer()) as f64;
+        bytes / self.testbed.pcie.bw_h2d + self.testbed.pcie.latency
+    }
+
+    /// Time to swap the full-model KV cache of `n_tokens` tokens into the GPU.
+    pub fn swap_in_time_total(&self, n_tokens: usize) -> f64 {
+        self.swap_in_time_per_layer(n_tokens) * self.model.n_layers as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives and non-layer stages
+    // ------------------------------------------------------------------
+
+    /// Per-layer tensor-parallel all-reduce time for `n_tokens` tokens (two all-reduces of
+    /// the hidden activations per layer). Zero when `tp == 1`.
+    pub fn allreduce_time(&self, n_tokens: usize) -> f64 {
+        let Some(ic) = self.testbed.interconnect else { return 0.0 };
+        if self.tp <= 1 || n_tokens == 0 {
+            return 0.0;
+        }
+        let bytes = (n_tokens * self.model.hidden * self.model.dtype_bytes) as f64;
+        let ring_factor = 2.0 * (self.tp as f64 - 1.0) / self.tp as f64;
+        2.0 * (ring_factor * bytes / ic.bw + ic.latency) * (1.0 - self.allreduce_overlap)
+    }
+
+    /// Time of the pre-layer (embedding) and post-layer (final norm + LM head + sampling)
+    /// stages for a batch with `n_tokens` total tokens and `n_seqs` sequences needing
+    /// sampling. This is **not** per layer; it is incurred once per iteration.
+    pub fn pre_post_layer_time(&self, n_tokens: usize, n_seqs: usize) -> f64 {
+        if n_tokens == 0 {
+            return 0.0;
+        }
+        // Only sequences producing a next token run the LM head in modern engines.
+        let head_tokens = n_seqs.max(1);
+        let work = OpWork::new(
+            self.model.lm_head_flops(head_tokens) / self.tp as f64,
+            (self.model.vocab * self.model.hidden * self.model.dtype_bytes) as f64
+                / self.tp as f64,
+        );
+        let embed = (n_tokens * self.model.hidden * self.model.dtype_bytes) as f64
+            / self.gpu.bandwidth;
+        self.gpu.time(work) + embed + self.python_overhead(n_seqs)
+    }
+
+    /// Per-iteration scheduling / Python / launch overhead outside the transformer layers.
+    fn python_overhead(&self, n_seqs: usize) -> f64 {
+        40e-6 + n_seqs as f64 * 0.3e-6
+    }
+
+    /// Convenience: per-layer linear-stage time split as `(Tpr, Tpo)`.
+    pub fn linear_split_gpu(&self, n_tokens: usize) -> (f64, f64) {
+        (self.pre_projection_time_gpu(n_tokens), self.post_projection_time_gpu(n_tokens))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a10g_8b() -> CostModel {
+        CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1)
+    }
+
+    fn t4_7b() -> CostModel {
+        CostModel::new(ModelDesc::llama2_7b(), Testbed::g4dn_4xlarge(), 1)
+    }
+
+    fn h100_70b() -> CostModel {
+        CostModel::new(ModelDesc::llama3_70b(), Testbed::hgx_h100(2), 2)
+    }
+
+    #[test]
+    fn t4_kv_capacity_is_tiny() {
+        // 16 GB T4 minus ~13 GB of LLaMa-2-7B weights leaves very little KV room;
+        // this is the regime of the paper's 7.5x gains.
+        let cap = t4_7b().gpu_kv_capacity_tokens();
+        assert!(cap < 6000, "T4 KV capacity should be small, got {cap}");
+    }
+
+    #[test]
+    fn a10g_kv_capacity_moderate() {
+        let cap = a10g_8b().gpu_kv_capacity_tokens();
+        assert!(cap > 20_000 && cap < 80_000, "A10G KV capacity {cap}");
+    }
+
+    #[test]
+    fn h100_pair_holds_70b() {
+        let cm = h100_70b();
+        assert!(cm.weight_bytes_per_gpu() < cm.testbed().gpu.mem_bytes);
+        let cap = cm.gpu_kv_capacity_tokens();
+        assert!(cap > 10_000, "2xH100 should still hold some KV, got {cap}");
+    }
+
+    #[test]
+    fn cpu_cache_larger_than_gpu_cache() {
+        for cm in [a10g_8b(), t4_7b()] {
+            assert!(cm.cpu_kv_capacity_tokens() > cm.gpu_kv_capacity_tokens());
+        }
+    }
+
+    #[test]
+    fn linear_time_saturates_with_batch() {
+        // Tokens/s improves as the batch grows (weight loading amortised), then flattens.
+        let cm = a10g_8b();
+        let tps = |n: usize| n as f64 / cm.linear_time_gpu(n);
+        assert!(tps(64) > tps(8) * 2.0);
+        let large = tps(4096);
+        let larger = tps(8192);
+        assert!(larger / large < 1.3, "should be near compute roof");
+    }
+
+    #[test]
+    fn cpu_attention_slower_than_gpu_but_not_absurdly() {
+        let cm = a10g_8b();
+        let ctx_total = 100 * 500; // 100 requests with 500 ctx tokens each
+        let g = cm.gpu_decode_attn_time(ctx_total, 100);
+        let c = cm.cpu_decode_attn_time(ctx_total, 100);
+        let ratio = c / g;
+        // §2.2: bandwidth gap (not compute gap) governs the ratio; expect ~5-20x.
+        assert!(ratio > 2.0 && ratio < 40.0, "CPU/GPU attention ratio {ratio}");
+    }
+
+    #[test]
+    fn decode_attention_time_linear_in_context() {
+        let cm = a10g_8b();
+        let t1 = cm.cpu_decode_attn_time(10_000, 50);
+        let t2 = cm.cpu_decode_attn_time(20_000, 50);
+        let ratio = t2 / t1;
+        assert!(ratio > 1.7 && ratio < 2.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_work_is_zero_time() {
+        let cm = a10g_8b();
+        assert_eq!(cm.linear_time_gpu(0), 0.0);
+        assert_eq!(cm.cpu_decode_attn_time(0, 0), 0.0);
+        assert_eq!(cm.gpu_attn_time(&[], 0, 0), 0.0);
+        assert_eq!(cm.swap_out_time_per_layer(0), 0.0);
+        assert_eq!(cm.pre_post_layer_time(0, 0), 0.0);
+    }
+
+    #[test]
+    fn allreduce_only_with_tp() {
+        let single = a10g_8b();
+        assert_eq!(single.allreduce_time(128), 0.0);
+        let multi = h100_70b();
+        assert!(multi.allreduce_time(128) > 0.0);
+    }
+
+    #[test]
+    fn swap_total_is_layers_times_per_layer() {
+        let cm = a10g_8b();
+        let per = cm.swap_out_time_per_layer(100);
+        let total = cm.swap_out_time_total(100);
+        let l = cm.model().n_layers as f64;
+        assert!((total - per * l).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tp_reduces_per_gpu_weights() {
+        let cm = h100_70b();
+        let single = CostModel::new(ModelDesc::llama3_70b(), Testbed::hgx_h100(1), 1);
+        assert!(cm.weight_bytes_per_gpu() < single.weight_bytes_per_gpu());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds GPU count")]
+    fn tp_larger_than_gpus_panics() {
+        let _ = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 2);
+    }
+
+    #[test]
+    fn prefill_attention_dominates_long_prompts() {
+        let cm = a10g_8b();
+        let short = cm.gpu_attn_time(&[(128, 128)], 0, 0);
+        let long = cm.gpu_attn_time(&[(2048, 2048)], 0, 0);
+        assert!(long > short * 10.0);
+    }
+
+    #[test]
+    fn with_max_batch_tokens_changes_capacity() {
+        let small = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1)
+            .with_max_batch_tokens(1024);
+        let big = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1)
+            .with_max_batch_tokens(16384);
+        assert!(small.gpu_kv_capacity_tokens() > big.gpu_kv_capacity_tokens());
+    }
+}

@@ -1,0 +1,50 @@
+//! Hardware models, cost models and simulation primitives for the NEO reproduction.
+//!
+//! The original NEO system ([Jiang et al., MLSys 2025]) runs on real GPUs (T4, A10G, H100)
+//! and offloads decoding attention to the local host CPU. This crate provides the
+//! *performance substrate* of our reproduction:
+//!
+//! * [`hardware`] — datasheet-level specifications of every testbed in Table 1 of the
+//!   paper (GPU memory size / bandwidth / FLOPS, CPU memory bandwidth / FLOPS, PCIe and
+//!   NVLink links).
+//! * [`model_desc`] — architectural descriptors of the evaluated models (LLaMa-2-7B,
+//!   LLaMa-3.1-8B, LLaMa-3.1-70B) from which per-token FLOP and byte counts are derived.
+//! * [`roofline`] — the roofline execution-time estimator (`max(compute, memory)` + launch
+//!   overhead) used to model each operator on each device.
+//! * [`costmodel`] — per-operator cost primitives (linear stage, GPU/CPU decode attention,
+//!   prefill attention, PCIe swaps, tensor-parallel all-reduce) combined by the scheduler
+//!   into the paper's iteration-time formula.
+//! * [`profiler`] — the offline-profiling + piecewise-linear-interpolation layer the paper's
+//!   load-aware scheduler uses instead of an exact analytical model (§3.2).
+//! * [`clock`] — a simulation clock and event trace used by the serving harness.
+//!
+//! # Example
+//!
+//! ```
+//! use neo_sim::hardware::Testbed;
+//! use neo_sim::model_desc::ModelDesc;
+//! use neo_sim::costmodel::CostModel;
+//!
+//! // A10G instance (g5.4xlarge) serving LLaMa-3.1-8B, as in Figure 6b of the paper.
+//! let testbed = Testbed::g5_xlarge(4);
+//! let model = ModelDesc::llama3_8b();
+//! let cost = CostModel::new(model, testbed, 1);
+//! // Per-layer linear-stage time for a 256-token batch is strictly positive and finite.
+//! let t = cost.linear_time_gpu(256);
+//! assert!(t > 0.0 && t.is_finite());
+//! ```
+//!
+//! [Jiang et al., MLSys 2025]: https://arxiv.org/abs/2411.01142
+
+pub mod clock;
+pub mod costmodel;
+pub mod hardware;
+pub mod model_desc;
+pub mod profiler;
+pub mod roofline;
+
+pub use clock::SimClock;
+pub use costmodel::CostModel;
+pub use hardware::{CpuSpec, GpuSpec, InterconnectSpec, PcieSpec, Testbed};
+pub use model_desc::ModelDesc;
+pub use profiler::{Interpolator1d, ProfiledCostModel};

@@ -1,0 +1,92 @@
+//! Arrival processes.
+
+use rand::Rng;
+
+/// How request arrival times are generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// All requests arrive at time zero (offline / batch throughput experiments).
+    AllAtOnce,
+    /// Poisson process with the given rate in requests per second (online experiments,
+    /// §5.2 of the paper).
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate: f64,
+    },
+    /// Deterministic arrivals exactly `1/rate` apart.
+    Uniform {
+        /// Arrival rate in requests per second.
+        rate: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates `n` arrival times (seconds, ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate-based process has a non-positive rate.
+    pub fn generate<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        match *self {
+            ArrivalProcess::AllAtOnce => vec![0.0; n],
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        t += -u.ln() / rate;
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Uniform { rate } => {
+                assert!(rate > 0.0, "arrival rate must be positive");
+                (0..n).map(|i| (i + 1) as f64 / rate).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_at_once_is_all_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(ArrivalProcess::AllAtOnce.generate(4, &mut rng), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn poisson_mean_interval_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rate = 2.0;
+        let arrivals = ArrivalProcess::Poisson { rate }.generate(4000, &mut rng);
+        assert!(arrivals.windows(2).all(|w| w[1] >= w[0]), "arrivals must be ascending");
+        let mean_interval = arrivals.last().unwrap() / arrivals.len() as f64;
+        assert!((mean_interval - 0.5).abs() < 0.05, "mean interval {mean_interval}");
+    }
+
+    #[test]
+    fn uniform_is_evenly_spaced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let arrivals = ArrivalProcess::Uniform { rate: 4.0 }.generate(4, &mut rng);
+        assert_eq!(arrivals, vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn empty_generation_is_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(ArrivalProcess::Poisson { rate: 1.0 }.generate(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_rate_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = ArrivalProcess::Poisson { rate: 0.0 }.generate(1, &mut rng);
+    }
+}

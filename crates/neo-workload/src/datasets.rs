@@ -1,0 +1,135 @@
+//! Synthetic stand-ins for the paper's evaluation datasets.
+//!
+//! The Azure LLM inference coding trace (AC) and the OpenAI summarization comparison
+//! dataset (OSC) cannot be redistributed here, so these generators produce traces whose
+//! *length statistics* match the published characteristics of each dataset:
+//!
+//! * **AC** — coding-assistant requests: long, heavy-tailed prompts (median ≈ 1.5k tokens,
+//!   tail to 8k) and short-to-medium outputs (median ≈ 100–200 tokens). The skewed length
+//!   distribution is what makes Figure 7's latency CDF skewed.
+//! * **OSC** — summarisation chats: short prompts (a few hundred tokens) and short chosen
+//!   summaries (tens of tokens). The paper uses this lighter trace on the T4.
+//!
+//! Figures 8b, 9 and 10a use the synthetic `[0.9l, 1.1l]` sweep instead, provided by
+//! [`synthetic`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::arrivals::ArrivalProcess;
+use crate::lengths::LengthDistribution;
+use crate::trace::{Trace, TraceRequest};
+
+/// Generates a trace with the given length distributions and arrival process.
+pub fn generate(
+    n: usize,
+    prompt: &LengthDistribution,
+    output: &LengthDistribution,
+    arrivals: ArrivalProcess,
+    seed: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let times = arrivals.generate(n, &mut rng);
+    times
+        .into_iter()
+        .map(|arrival| TraceRequest {
+            arrival,
+            prompt_len: prompt.sample(&mut rng),
+            output_len: output.sample(&mut rng),
+        })
+        .collect()
+}
+
+/// An Azure-coding-trace-like workload: heavy-tailed long prompts, medium outputs.
+pub fn azure_code_like(n: usize, arrivals: ArrivalProcess, seed: u64) -> Trace {
+    generate(
+        n,
+        // ln-median ≈ e^7.3 ≈ 1480 prompt tokens, tail clamped at 8k.
+        &LengthDistribution::LogNormal { mu: 7.3, sigma: 0.7, min: 64, max: 8192 },
+        // ln-median ≈ e^4.9 ≈ 134 output tokens, tail clamped at 1k.
+        &LengthDistribution::LogNormal { mu: 4.9, sigma: 0.8, min: 8, max: 1024 },
+        arrivals,
+        seed,
+    )
+}
+
+/// An OpenAI-summarization-comparison-like workload: short prompts and short outputs.
+pub fn osc_like(n: usize, arrivals: ArrivalProcess, seed: u64) -> Trace {
+    generate(
+        n,
+        &LengthDistribution::LogNormal { mu: 5.8, sigma: 0.5, min: 32, max: 2048 },
+        &LengthDistribution::LogNormal { mu: 3.7, sigma: 0.5, min: 4, max: 256 },
+        arrivals,
+        seed,
+    )
+}
+
+/// The paper's synthetic sweep: prompt and output lengths sampled independently and
+/// uniformly from `[0.9·input, 1.1·input]` and `[0.9·output, 1.1·output]`.
+pub fn synthetic(
+    n: usize,
+    input: usize,
+    output: usize,
+    arrivals: ArrivalProcess,
+    seed: u64,
+) -> Trace {
+    generate(
+        n,
+        &LengthDistribution::AroundTarget(input),
+        &LengthDistribution::AroundTarget(output),
+        arrivals,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn azure_code_like_has_long_heavy_tailed_prompts() {
+        let t = azure_code_like(2000, ArrivalProcess::AllAtOnce, 1);
+        let s = t.stats();
+        assert!(s.mean_prompt > 1000.0 && s.mean_prompt < 3000.0, "mean prompt {}", s.mean_prompt);
+        assert!(s.mean_output > 80.0 && s.mean_output < 400.0, "mean output {}", s.mean_output);
+        assert!(s.p95_prompt > 2 * s.mean_prompt as usize / 2, "prompt tail should be heavy");
+        assert!(s.mean_prompt > s.mean_output * 4.0, "AC prompts dwarf outputs");
+    }
+
+    #[test]
+    fn osc_like_is_much_lighter_than_ac() {
+        let ac = azure_code_like(1000, ArrivalProcess::AllAtOnce, 2).stats();
+        let osc = osc_like(1000, ArrivalProcess::AllAtOnce, 2).stats();
+        assert!(osc.mean_prompt < ac.mean_prompt / 2.0);
+        assert!(osc.mean_output < ac.mean_output);
+    }
+
+    #[test]
+    fn synthetic_sweep_respects_target_band() {
+        let t = synthetic(500, 1000, 200, ArrivalProcess::AllAtOnce, 3);
+        for r in t.requests() {
+            assert!((900..=1100).contains(&r.prompt_len));
+            assert!((180..=220).contains(&r.output_len));
+        }
+        let s = t.stats();
+        assert!((s.mean_prompt - 1000.0).abs() < 30.0);
+        assert!((s.mean_output - 200.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = azure_code_like(50, ArrivalProcess::Poisson { rate: 1.0 }, 7);
+        let b = azure_code_like(50, ArrivalProcess::Poisson { rate: 1.0 }, 7);
+        let c = azure_code_like(50, ArrivalProcess::Poisson { rate: 1.0 }, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_attached_in_order() {
+        let t = osc_like(100, ArrivalProcess::Poisson { rate: 5.0 }, 4);
+        let arrivals: Vec<f64> = t.requests().iter().map(|r| r.arrival).collect();
+        assert!(arrivals.windows(2).all(|w| w[1] >= w[0]));
+        assert!(*arrivals.last().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Token-length distributions.
+
+use rand::Rng;
+
+/// A distribution over token lengths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LengthDistribution {
+    /// Every sample is exactly this length.
+    Fixed(usize),
+    /// Uniform over `[lo, hi]` inclusive.
+    Uniform {
+        /// Smallest length (inclusive).
+        lo: usize,
+        /// Largest length (inclusive).
+        hi: usize,
+    },
+    /// The paper's synthetic sweep convention: uniform over `[0.9·target, 1.1·target]`.
+    AroundTarget(usize),
+    /// Log-normal (heavy-tailed) with the given log-space mean and standard deviation,
+    /// clamped to `[min, max]` — models the skew of production traces.
+    LogNormal {
+        /// Mean of `ln(length)`.
+        mu: f64,
+        /// Standard deviation of `ln(length)`.
+        sigma: f64,
+        /// Smallest length after clamping.
+        min: usize,
+        /// Largest length after clamping.
+        max: usize,
+    },
+}
+
+impl LengthDistribution {
+    /// Draws one length.
+    ///
+    /// All variants return at least 1 token.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let v = match *self {
+            LengthDistribution::Fixed(n) => n,
+            LengthDistribution::Uniform { lo, hi } => {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                rng.gen_range(lo..=hi)
+            }
+            LengthDistribution::AroundTarget(target) => {
+                let lo = ((target as f64) * 0.9).round() as usize;
+                let hi = ((target as f64) * 1.1).round() as usize;
+                rng.gen_range(lo.min(hi)..=hi.max(lo))
+            }
+            LengthDistribution::LogNormal { mu, sigma, min, max } => {
+                // Box–Muller standard normal.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let v = (mu + sigma * z).exp();
+                (v.round() as usize).clamp(min, max)
+            }
+        };
+        v.max(1)
+    }
+
+    /// Approximate mean of the distribution (exact for the simple variants).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LengthDistribution::Fixed(n) => n as f64,
+            LengthDistribution::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            LengthDistribution::AroundTarget(t) => t as f64,
+            LengthDistribution::LogNormal { mu, sigma, min, max } => {
+                ((mu + sigma * sigma / 2.0).exp()).clamp(min as f64, max as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_always_returns_the_value() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = LengthDistribution::Fixed(37);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 37);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_covers_it() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = LengthDistribution::Uniform { lo: 10, hi: 20 };
+        let samples: Vec<usize> = (0..500).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (10..=20).contains(&s)));
+        assert!(samples.iter().any(|&s| s == 10));
+        assert!(samples.iter().any(|&s| s == 20));
+    }
+
+    #[test]
+    fn around_target_matches_paper_convention() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LengthDistribution::AroundTarget(1000);
+        for _ in 0..200 {
+            let s = d.sample(&mut rng);
+            assert!((900..=1100).contains(&s), "sample {s} outside [0.9l, 1.1l]");
+        }
+    }
+
+    #[test]
+    fn lognormal_is_heavy_tailed_and_clamped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LengthDistribution::LogNormal { mu: 7.0, sigma: 0.8, min: 16, max: 8192 };
+        let samples: Vec<usize> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (16..=8192).contains(&s)));
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[samples.len() / 2] as f64;
+        assert!(mean > median, "log-normal mean {mean} should exceed median {median}");
+    }
+
+    #[test]
+    fn samples_are_never_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = LengthDistribution::Uniform { lo: 0, hi: 1 };
+        for _ in 0..50 {
+            assert!(d.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn means_are_sensible() {
+        assert_eq!(LengthDistribution::Fixed(5).mean(), 5.0);
+        assert_eq!(LengthDistribution::Uniform { lo: 0, hi: 10 }.mean(), 5.0);
+        assert_eq!(LengthDistribution::AroundTarget(100).mean(), 100.0);
+    }
+}

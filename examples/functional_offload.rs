@@ -1,0 +1,66 @@
+//! Functional demonstration that CPU offloading does not change model outputs.
+//!
+//! This example uses the *functional* path of the reproduction: a tiny LLaMa-style
+//! transformer with real weights running real attention kernels over the paged KV cache.
+//! It generates a short continuation three ways — KV on the "GPU" pool, KV on the "CPU"
+//! pool, and KV swapped between pools mid-generation — and shows the generated tokens are
+//! identical, which is the accuracy-preservation property NEO relies on.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p neo-bench --example functional_offload
+//! ```
+
+use neo_kvcache::Device;
+use neo_model::{argmax, Model, PagedKvCache};
+use neo_sim::ModelDesc;
+
+/// Greedily generates `steps` tokens after `prompt`, optionally swapping the sequence to
+/// the other pool halfway through.
+fn generate(
+    model: &Model,
+    prompt: &[u32],
+    steps: usize,
+    start_device: Device,
+    swap_halfway: bool,
+) -> Vec<u32> {
+    let desc = model.desc().clone();
+    let mut cache = PagedKvCache::new(&desc, 16, 4096, 8192);
+    let mut logits = model
+        .prefill(1, prompt, &mut cache, start_device)
+        .expect("prompt fits in the cache");
+    let mut output = Vec::new();
+    for step in 0..steps {
+        if swap_halfway && step == steps / 2 {
+            let target = cache.device_of(1).expect("sequence exists").other();
+            cache.swap(1, target).expect("swap fits");
+        }
+        let token = argmax(&logits);
+        output.push(token);
+        logits = model.decode(1, token, &mut cache).expect("decode succeeds");
+    }
+    output
+}
+
+fn main() {
+    let desc = ModelDesc::small();
+    let model = Model::random(&desc, 2025);
+    let prompt: Vec<u32> = vec![11, 42, 7, 199, 23, 5];
+    let steps = 12;
+
+    println!("functional model: {desc}");
+    println!("prompt tokens: {prompt:?}\n");
+
+    let on_gpu = generate(&model, &prompt, steps, Device::Gpu, false);
+    let on_cpu = generate(&model, &prompt, steps, Device::Cpu, false);
+    let swapped = generate(&model, &prompt, steps, Device::Gpu, true);
+
+    println!("generated (KV on GPU pool):        {on_gpu:?}");
+    println!("generated (KV on CPU pool):        {on_cpu:?}");
+    println!("generated (swapped mid-decode):    {swapped:?}");
+
+    assert_eq!(on_gpu, on_cpu, "CPU-resident attention must match GPU-resident attention");
+    assert_eq!(on_gpu, swapped, "swapping the KV cache mid-generation must not change output");
+    println!("\nall three runs produced identical tokens: offloading preserves accuracy.");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: serve a small batch of requests with NEO on an A10G-class testbed and
+//! compare against the GPU-only baseline.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p neo-bench --example quickstart
+//! ```
+
+use neo_baselines::GpuOnlyScheduler;
+use neo_core::{Engine, EngineConfig, NeoScheduler, Request, Scheduler};
+use neo_sim::{CostModel, ModelDesc, Testbed};
+
+fn run(label: &str, scheduler: Box<dyn Scheduler>) -> (f64, f64) {
+    // A g5.4xlarge (one A10G GPU, 8-core EPYC host) serving LLaMa-3.1-8B.
+    let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+    let mut engine = Engine::new(cost, EngineConfig::default(), scheduler);
+
+    // 64 chat-style requests: 600-token prompts, 120 output tokens, all arriving at once.
+    for id in 0..64 {
+        engine.submit(Request::new(id, 0.0, 600, 120));
+    }
+    engine.run_to_completion(1_000_000);
+
+    let makespan = engine.now();
+    let tokens: u64 = engine.total_decode_tokens() + engine.total_prefill_tokens();
+    let throughput = tokens as f64 / makespan;
+    let mean_latency: f64 = engine
+        .completed()
+        .iter()
+        .filter_map(|r| r.per_token_latency())
+        .sum::<f64>()
+        / engine.completed().len() as f64;
+    println!(
+        "{label:>10}: {:>7.0} tokens/s, mean per-token latency {:.3}s, makespan {:.1}s",
+        throughput, mean_latency, makespan
+    );
+    (throughput, mean_latency)
+}
+
+fn main() {
+    println!("NEO quickstart — A10G + LLaMa-3.1-8B, 64 requests (600 in / 120 out)\n");
+    let (gpu_only, _) = run("GPU-only", Box::new(GpuOnlyScheduler::swiftllm_like()));
+    let (neo, _) = run("NEO", Box::new(NeoScheduler::new()));
+    println!("\nNEO / GPU-only throughput: {:.2}x", neo / gpu_only);
+}
