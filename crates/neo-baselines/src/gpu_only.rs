@@ -141,7 +141,7 @@ mod tests {
         let mut offloaded = 0;
         while !e.is_idle() {
             let r = e.step();
-            offloaded += r.cpu_offloaded + r.swapped_out as usize;
+            offloaded += r.cpu_offloaded + r.swapped_out;
         }
         assert_eq!(e.completed().len(), 20);
         assert_eq!(offloaded, 0, "GPU-only baseline must never offload");
@@ -168,7 +168,8 @@ mod tests {
     #[test]
     fn memory_pressure_stalls_rather_than_offloads() {
         let cost = CostModel::new(ModelDesc::llama2_7b(), Testbed::g4dn_4xlarge(), 1);
-        let mut e = Engine::new(cost, EngineConfig::default(), Box::new(GpuOnlyScheduler::vllm_like()));
+        let mut e =
+            Engine::new(cost, EngineConfig::default(), Box::new(GpuOnlyScheduler::vllm_like()));
         for id in 0..64 {
             e.submit(Request::new(id, 0.0, 300, 30));
         }

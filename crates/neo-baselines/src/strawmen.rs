@@ -14,11 +14,7 @@ use neo_core::scheduler::{ScheduleContext, Scheduler};
 use neo_core::ExecutionMode;
 use neo_kvcache::Device;
 
-fn admit_prefills_to_cpu(
-    ctx: &ScheduleContext<'_>,
-    batch0: &mut SubBatch,
-    cpu_free: &mut i64,
-) {
+fn admit_prefills_to_cpu(ctx: &ScheduleContext<'_>, batch0: &mut SubBatch, cpu_free: &mut i64) {
     let cfg = ctx.config;
     let mut token_budget = cfg.max_batch_tokens.saturating_sub(batch0.linear_tokens());
     for &id in ctx.waiting {
@@ -216,11 +212,8 @@ mod tests {
     #[test]
     fn symmetric_splits_decodes_roughly_evenly() {
         let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
-        let mut e = Engine::new(
-            cost,
-            EngineConfig::default(),
-            Box::new(SymmetricPipelineScheduler::new()),
-        );
+        let mut e =
+            Engine::new(cost, EngineConfig::default(), Box::new(SymmetricPipelineScheduler::new()));
         for id in 0..30 {
             e.submit(Request::new(id, 0.0, 200, 40));
         }

@@ -112,7 +112,12 @@ fn bench_serial_vs_parallel(c: &mut Criterion) {
         let mut out = vec![0.0f32; fx.queries.len()];
         b.iter(|| {
             paged_decode_attention_serial(
-                &fx.queries, &fx.storage, &tables, &fx.seq_lens, &fx.cfg, &mut out,
+                &fx.queries,
+                &fx.storage,
+                &tables,
+                &fx.seq_lens,
+                &fx.cfg,
+                &mut out,
             )
         });
     });
@@ -124,7 +129,13 @@ fn bench_serial_vs_parallel(c: &mut Criterion) {
                 let mut out = vec![0.0f32; fx.queries.len()];
                 b.iter(|| {
                     paged_decode_attention_with_partitions(
-                        &fx.queries, &fx.storage, &tables, &fx.seq_lens, &fx.cfg, p, &mut out,
+                        &fx.queries,
+                        &fx.storage,
+                        &tables,
+                        &fx.seq_lens,
+                        &fx.cfg,
+                        p,
+                        &mut out,
                     )
                 });
             },

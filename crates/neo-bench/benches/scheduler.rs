@@ -7,7 +7,6 @@
 
 use std::collections::HashMap;
 
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use neo_baselines::{FastDecodePlusScheduler, GpuOnlyScheduler};
 use neo_core::config::EngineConfig;
@@ -28,11 +27,8 @@ struct Fixture {
 }
 
 fn build(n_waiting: usize, n_gpu: usize, n_cpu: usize) -> Fixture {
-    let cost = ProfiledCostModel::new(CostModel::new(
-        ModelDesc::llama3_8b(),
-        Testbed::g5_xlarge(4),
-        1,
-    ));
+    let cost =
+        ProfiledCostModel::new(CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1));
     let mut requests = HashMap::new();
     let mut waiting = Vec::new();
     let mut gpu_run = Vec::new();

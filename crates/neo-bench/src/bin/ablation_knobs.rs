@@ -1,4 +1,4 @@
-//! Design-choice ablations called out in DESIGN.md §5.
+//! Design-choice ablations: how much each of NEO's mechanisms contributes.
 //!
 //! Quantifies, on the A10G + LLaMa-3.1-8B testbed, how much each of NEO's design choices
 //! contributes and how sensitive the scheduler is to its knobs:

@@ -33,8 +33,7 @@ fn main() {
         let cpu_bw = scenario.testbed.cpu.mem_bw / 1e9;
         for &output in &outputs {
             let trace = synthetic(requests, input, output, ArrivalProcess::AllAtOnce, 44);
-            let baseline =
-                run_offline(scenario.engine(Policy::SwiftLlmLike), &trace, 50_000_000);
+            let baseline = run_offline(scenario.engine(Policy::SwiftLlmLike), &trace, 50_000_000);
             let neo = run_offline(scenario.engine(Policy::Neo), &trace, 50_000_000);
             let relative = neo.token_throughput / baseline.token_throughput;
             rows.push(vec![

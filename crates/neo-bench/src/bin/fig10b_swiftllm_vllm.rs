@@ -32,10 +32,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut points = Vec::new();
     for scenario in &settings {
-        for (system, overlap, chunked) in [
-            ("SwiftLLM", 0.0, false),
-            ("vLLM", VLLM_ALLREDUCE_OVERLAP, true),
-        ] {
+        for (system, overlap, chunked) in
+            [("SwiftLLM", 0.0, false), ("vLLM", VLLM_ALLREDUCE_OVERLAP, true)]
+        {
             let cost = scenario.cost_model().with_allreduce_overlap(overlap);
             let scheduler = if chunked {
                 GpuOnlyScheduler::vllm_like()
@@ -70,11 +69,7 @@ fn main() {
                 .map(|p| p.token_throughput)
                 .unwrap_or(f64::NAN)
         };
-        println!(
-            "SwiftLLM / vLLM ratio [{}]: {:.3}",
-            scenario.name,
-            get("SwiftLLM") / get("vLLM")
-        );
+        println!("SwiftLLM / vLLM ratio [{}]: {:.3}", scenario.name, get("SwiftLLM") / get("vLLM"));
     }
     save_json("fig10b_swiftllm_vllm", &points);
 }

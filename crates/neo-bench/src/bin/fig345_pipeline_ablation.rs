@@ -23,12 +23,8 @@ struct Point {
 
 fn main() {
     let scenarios = [Scenario::a10g_8b(), Scenario::t4_7b()];
-    let policies = [
-        Policy::SimpleOffload,
-        Policy::SymmetricPipeline,
-        Policy::FastDecodePlus,
-        Policy::Neo,
-    ];
+    let policies =
+        [Policy::SimpleOffload, Policy::SymmetricPipeline, Policy::FastDecodePlus, Policy::Neo];
 
     let mut rows = Vec::new();
     let mut points = Vec::new();

@@ -58,11 +58,8 @@ fn main() {
             for &output in &setting.outputs {
                 let trace =
                     synthetic(setting.requests, input, output, ArrivalProcess::AllAtOnce, 33);
-                let baseline = run_offline(
-                    setting.scenario.engine(Policy::SwiftLlmLike),
-                    &trace,
-                    50_000_000,
-                );
+                let baseline =
+                    run_offline(setting.scenario.engine(Policy::SwiftLlmLike), &trace, 50_000_000);
                 let neo = run_offline(setting.scenario.engine(Policy::Neo), &trace, 50_000_000);
                 let relative = neo.token_throughput / baseline.token_throughput;
                 rows.push(vec![
@@ -81,10 +78,7 @@ fn main() {
             }
         }
         print_table(
-            &format!(
-                "Figure 9: NEO throughput relative to GPU-only — {}",
-                setting.scenario.name
-            ),
+            &format!("Figure 9: NEO throughput relative to GPU-only — {}", setting.scenario.name),
             &["avg input", "avg output", "relative throughput", "offload frac"],
             &rows,
         );

@@ -1,7 +1,7 @@
 //! Shared helpers for the NEO benchmark and figure harnesses.
 //!
 //! Every table and figure of the paper's evaluation has a dedicated binary in `src/bin/`
-//! (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for measured results).
+//! (see the repository `README.md` for the experiment index).
 //! This library provides the pieces they share: scenario presets matching the paper's
 //! hardware/model pairings, scheduler construction by policy name, and small table /
 //! JSON output helpers.
@@ -154,8 +154,8 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Writes any serialisable result as pretty JSON under `results/<name>.json` so
-/// EXPERIMENTS.md numbers can be regenerated and diffed.
+/// Writes any serialisable result as pretty JSON under `results/<name>.json` so reported
+/// numbers can be regenerated and diffed.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
@@ -206,7 +206,7 @@ mod tests {
             ] {
                 let engine = scenario.engine(policy);
                 assert!(engine.is_idle());
-                assert_eq!(engine.scheduler_name().is_empty(), false);
+                assert!(!engine.scheduler_name().is_empty());
             }
         }
     }

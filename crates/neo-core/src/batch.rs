@@ -79,11 +79,7 @@ impl SubBatch {
     /// Tokens of freshly produced KV that must be swapped out to the CPU cache
     /// (prefill chunks whose target is the CPU).
     pub fn swap_out_tokens(&self) -> usize {
-        self.prefills
-            .iter()
-            .filter(|p| p.target == Device::Cpu)
-            .map(|p| p.new_tokens)
-            .sum()
+        self.prefills.iter().filter(|p| p.target == Device::Cpu).map(|p| p.new_tokens).sum()
     }
 
     /// Ids of every request touched by this sub-batch.

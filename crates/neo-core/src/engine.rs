@@ -340,8 +340,7 @@ impl Engine {
         }
 
         // Decode progress (both sub-batches, GPU and CPU attention alike).
-        let cpu_offloaded =
-            decision.batch0.cpu_decodes.len() + decision.batch1.cpu_decodes.len();
+        let cpu_offloaded = decision.batch0.cpu_decodes.len() + decision.batch1.cpu_decodes.len();
         let decode_ids: Vec<u64> = decision
             .batch0
             .gpu_decodes
@@ -459,10 +458,8 @@ mod tests {
         }
         e.run_to_completion(200_000);
         assert_eq!(e.completed().len(), n as usize);
-        let expected_decode: u64 =
-            e.completed().iter().map(|r| r.output_len as u64).sum();
-        let expected_prefill: u64 =
-            e.completed().iter().map(|r| r.prompt_len as u64).sum();
+        let expected_decode: u64 = e.completed().iter().map(|r| r.output_len as u64).sum();
+        let expected_prefill: u64 = e.completed().iter().map(|r| r.prompt_len as u64).sum();
         assert_eq!(e.total_decode_tokens(), expected_decode);
         assert_eq!(e.total_prefill_tokens(), expected_prefill);
         assert_eq!(e.kv().num_sequences(), 0);

@@ -207,11 +207,7 @@ mod tests {
     }
 
     fn decode_batch(gpu: &[(u64, usize)], cpu: &[(u64, usize)]) -> SubBatch {
-        SubBatch {
-            prefills: vec![],
-            gpu_decodes: gpu.to_vec(),
-            cpu_decodes: cpu.to_vec(),
-        }
+        SubBatch { prefills: vec![], gpu_decodes: gpu.to_vec(), cpu_decodes: cpu.to_vec() }
     }
 
     #[test]
@@ -224,7 +220,12 @@ mod tests {
         let gpu_batch: Vec<(u64, usize)> = (0..64).map(|i| (i, 1000)).collect();
         // Include a prefill chunk, as NEO's batch-0 normally does, to lengthen Tl0.
         let mut batch0 = decode_batch(&gpu_batch, &[]);
-        batch0.prefills.push(PrefillItem { req: 999, new_tokens: 768, ctx_after: 768, target: Device::Gpu });
+        batch0.prefills.push(PrefillItem {
+            req: 999,
+            new_tokens: 768,
+            ctx_after: 768,
+            target: Device::Gpu,
+        });
         let gpu_only = estimate_gpu_only(&cm, &batch0, 0, 0, true);
 
         let cpu_extra: Vec<(u64, usize)> = (100..116).map(|i| (i, 1000)).collect();
@@ -296,7 +297,12 @@ mod tests {
     fn layerwise_overlap_beats_deferred_swap() {
         let cm = cost();
         let batch0 = SubBatch {
-            prefills: vec![PrefillItem { req: 1, new_tokens: 1024, ctx_after: 1024, target: Device::Cpu }],
+            prefills: vec![PrefillItem {
+                req: 1,
+                new_tokens: 1024,
+                ctx_after: 1024,
+                target: Device::Cpu,
+            }],
             gpu_decodes: (2..40).map(|i| (i, 600)).collect(),
             cpu_decodes: vec![],
         };

@@ -104,12 +104,7 @@ impl NeoScheduler {
 }
 
 /// Internal helper: the balancing inequalities of step 4, with slack.
-fn balanced(
-    cost: &dyn IterationCost,
-    batch0: &SubBatch,
-    batch1: &SubBatch,
-    slack: f64,
-) -> bool {
+fn balanced(cost: &dyn IterationCost, batch0: &SubBatch, batch1: &SubBatch, slack: f64) -> bool {
     let s0 = stage_times(cost, batch0);
     let s1 = stage_times(cost, batch1);
     let tol = 1.0 + slack;
@@ -183,8 +178,7 @@ impl Scheduler for NeoScheduler {
         batch0.gpu_decodes = gpu_decodes;
 
         // Step 3: admit prefill requests into batch-0 under the token budget.
-        let mut token_budget =
-            cfg.max_batch_tokens.saturating_sub(batch0.linear_tokens());
+        let mut token_budget = cfg.max_batch_tokens.saturating_sub(batch0.linear_tokens());
         for &id in ctx.waiting {
             if token_budget == 0 || batch0.sequences() >= cfg.max_batch_seqs {
                 break;
@@ -230,8 +224,7 @@ impl Scheduler for NeoScheduler {
             .filter(|id| !swap_in.contains(id))
             .map(|&id| (id, ctx.context_len(id)))
             .collect();
-        cpu_candidates
-            .extend(swapped_out_set.iter().map(|&id| (id, ctx.context_len(id))));
+        cpu_candidates.extend(swapped_out_set.iter().map(|&id| (id, ctx.context_len(id))));
         cpu_candidates.sort_by_key(|&(_, c)| c);
 
         let mut step4_batch0: Vec<u64> = Vec::new();
@@ -276,18 +269,17 @@ impl Scheduler for NeoScheduler {
         // progress under GPU memory pressure and must not be shed (otherwise it would
         // starve forever).
         let has_cpu_work = !batch0.cpu_decodes.is_empty() || !batch1.cpu_decodes.is_empty();
-        while has_cpu_work {
-            let Some(pos) = batch0.prefills.iter().rposition(|p| p.target == Device::Cpu) else {
+        if has_cpu_work {
+            while let Some(pos) = batch0.prefills.iter().rposition(|p| p.target == Device::Cpu) {
+                let removed = batch0.prefills.remove(pos);
+                if balanced(cost, &batch0, &batch1, cfg.balance_slack) {
+                    continue; // removal kept the pipeline balanced; keep it removed
+                }
+                // Removing it unbalanced the pipeline (the CPU work no longer hides behind
+                // the linear stage): put it back and stop shedding.
+                batch0.prefills.insert(pos, removed);
                 break;
-            };
-            let removed = batch0.prefills.remove(pos);
-            if balanced(cost, &batch0, &batch1, cfg.balance_slack) {
-                continue; // removal kept the pipeline balanced; keep it removed
             }
-            // Removing it unbalanced the pipeline (the CPU work no longer hides behind the
-            // linear stage): put it back and stop shedding.
-            batch0.prefills.insert(pos, removed);
-            break;
         }
 
         // Step 6: greedy choice between asymmetric and GPU-only schedules.
@@ -329,8 +321,7 @@ impl Scheduler for NeoScheduler {
             cfg.layerwise_swap_overlap,
         );
 
-        let decision =
-            if asym_est.throughput() > gpu_est.throughput() { asym } else { gpu_only };
+        let decision = if asym_est.throughput() > gpu_est.throughput() { asym } else { gpu_only };
         if decision.is_idle() {
             ScheduleDecision::idle()
         } else {

@@ -218,9 +218,9 @@ mod tests {
 
     fn build_fixture(seq_lens: &[usize], cfg: &AttentionConfig, seed: u64) -> Fixture {
         let block_size = 4;
-        let total_blocks: usize = seq_lens.iter().map(|l| l.div_ceil(block_size)).sum::<usize>() + 1;
-        let mut storage =
-            PagedStorage::new(total_blocks, block_size, cfg.n_kv_heads, cfg.head_dim);
+        let total_blocks: usize =
+            seq_lens.iter().map(|l| l.div_ceil(block_size)).sum::<usize>() + 1;
+        let mut storage = PagedStorage::new(total_blocks, block_size, cfg.n_kv_heads, cfg.head_dim);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut tables = Vec::new();
         let mut dense_k = Vec::new();
@@ -312,7 +312,12 @@ mod tests {
         let mut ser = vec![0.0f32; seq_lens.len() * cfg.q_stride()];
         paged_decode_attention(&fx.queries, &fx.storage, &table_refs, &seq_lens, &cfg, &mut par);
         paged_decode_attention_serial(
-            &fx.queries, &fx.storage, &table_refs, &seq_lens, &cfg, &mut ser,
+            &fx.queries,
+            &fx.storage,
+            &table_refs,
+            &seq_lens,
+            &cfg,
+            &mut ser,
         );
         for (a, b) in par.iter().zip(&ser) {
             assert!((a - b).abs() < 1e-4);
@@ -328,10 +333,22 @@ mod tests {
         let mut out1 = vec![0.0f32; seq_lens.len() * cfg.q_stride()];
         let mut out8 = vec![0.0f32; seq_lens.len() * cfg.q_stride()];
         paged_decode_attention_with_partitions(
-            &fx.queries, &fx.storage, &table_refs, &seq_lens, &cfg, 1, &mut out1,
+            &fx.queries,
+            &fx.storage,
+            &table_refs,
+            &seq_lens,
+            &cfg,
+            1,
+            &mut out1,
         );
         paged_decode_attention_with_partitions(
-            &fx.queries, &fx.storage, &table_refs, &seq_lens, &cfg, 8, &mut out8,
+            &fx.queries,
+            &fx.storage,
+            &table_refs,
+            &seq_lens,
+            &cfg,
+            8,
+            &mut out8,
         );
         for (a, b) in out1.iter().zip(&out8) {
             assert!((a - b).abs() < 1e-4);

@@ -53,7 +53,8 @@ pub fn paged_prefill_attention(
     out.par_chunks_mut(cfg.q_stride()).enumerate().for_each(|(qi, out_row)| {
         let visible = first_pos + qi + 1;
         let q_row = &q[qi * cfg.q_stride()..(qi + 1) * cfg.q_stride()];
-        let mut accs: Vec<OnlineSoftmax> = (0..cfg.n_heads).map(|_| OnlineSoftmax::new(hd)).collect();
+        let mut accs: Vec<OnlineSoftmax> =
+            (0..cfg.n_heads).map(|_| OnlineSoftmax::new(hd)).collect();
         for tok in 0..visible {
             let (block, slot) = table.locate(tok).expect("context within block table");
             let k_row = storage.read_k(block, slot).expect("block table points into storage");
@@ -93,7 +94,12 @@ mod tests {
         let blocks = ctx_len.div_ceil(block_size).max(1);
         let mut storage = PagedStorage::new(blocks, block_size, cfg.n_kv_heads, cfg.head_dim);
         let mut table = BlockTable::new(block_size);
-        table.append(ctx_len, (0..blocks).collect::<Vec<_>>()[..ctx_len.div_ceil(block_size)].to_vec()).unwrap();
+        table
+            .append(
+                ctx_len,
+                (0..blocks).collect::<Vec<_>>()[..ctx_len.div_ceil(block_size)].to_vec(),
+            )
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut dense_k = Vec::new();
         let mut dense_v = Vec::new();

@@ -18,6 +18,10 @@ use crate::AttentionConfig;
 /// # Panics
 ///
 /// Panics if any buffer length is inconsistent with the shape arguments.
+// A reference kernel mirrors the math's flat signature on purpose; bundling the
+// shape scalars into a struct would only obscure the comparison with the paged
+// implementations it validates.
+#[allow(clippy::too_many_arguments)]
 pub fn dense_attention(
     q: &[f32],
     k: &[f32],
@@ -52,8 +56,8 @@ pub fn dense_attention(
                 *score = dot * cfg.scale;
             }
             softmax_inplace(&mut scores);
-            let out_vec = &mut out
-                [qi * cfg.q_stride() + h * hd..qi * cfg.q_stride() + (h + 1) * hd];
+            let out_vec =
+                &mut out[qi * cfg.q_stride() + h * hd..qi * cfg.q_stride() + (h + 1) * hd];
             out_vec.iter_mut().for_each(|o| *o = 0.0);
             for (ki, &w) in scores.iter().enumerate().take(visible) {
                 let v_vec =

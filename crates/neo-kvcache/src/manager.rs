@@ -299,6 +299,7 @@ mod tests {
         assert_eq!(m.device_of(5).unwrap(), Device::Cpu);
         assert_eq!(m.num_tokens_of(5).unwrap(), 100);
         assert_eq!(m.pool(Device::Gpu).used_tokens(), used_gpu_before - 112); // 7 blocks
+
         // Swapping back also works.
         let back = m.swap(5, Device::Gpu).unwrap();
         assert_eq!(back.to, Device::Gpu);

@@ -31,7 +31,14 @@ impl PagedStorage {
     pub fn new(num_blocks: usize, block_size: usize, n_kv_heads: usize, head_dim: usize) -> Self {
         assert!(block_size > 0 && n_kv_heads > 0 && head_dim > 0, "dimensions must be positive");
         let elems = num_blocks * block_size * n_kv_heads * head_dim;
-        Self { num_blocks, block_size, n_kv_heads, head_dim, k: vec![0.0; elems], v: vec![0.0; elems] }
+        Self {
+            num_blocks,
+            block_size,
+            n_kv_heads,
+            head_dim,
+            k: vec![0.0; elems],
+            v: vec![0.0; elems],
+        }
     }
 
     /// Number of `f32` elements one token's K (or V) entry occupies.

@@ -40,9 +40,8 @@ impl PagedKvCache {
         });
         let gpu_blocks = manager.pool(Device::Gpu).num_blocks();
         let cpu_blocks = manager.pool(Device::Cpu).num_blocks();
-        let mk = |blocks: usize| {
-            PagedStorage::new(blocks, block_size, desc.n_kv_heads, desc.head_dim)
-        };
+        let mk =
+            |blocks: usize| PagedStorage::new(blocks, block_size, desc.n_kv_heads, desc.head_dim);
         Self {
             n_layers: desc.n_layers,
             gpu_layers: (0..desc.n_layers).map(|_| mk(gpu_blocks)).collect(),

@@ -191,9 +191,7 @@ impl Model {
             let mut attn_out: Vec<Vec<f32>> = vec![vec![0.0; q_dim]; items.len()];
             for device in [Device::Gpu, Device::Cpu] {
                 let group: Vec<usize> = (0..items.len())
-                    .filter(|&i| {
-                        cache.device_of(items[i].0).map(|d| d == device).unwrap_or(false)
-                    })
+                    .filter(|&i| cache.device_of(items[i].0).map(|d| d == device).unwrap_or(false))
                     .collect();
                 if group.is_empty() {
                     continue;

@@ -11,6 +11,22 @@
 //!
 //! [`online::run_online`] and [`offline::run_offline`] drive a [`neo_core::Engine`]
 //! (with any scheduler) over a [`neo_workload::Trace`] and collect those metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use neo_core::{Engine, EngineConfig, NeoScheduler};
+//! use neo_serve::run_offline;
+//! use neo_sim::{CostModel, ModelDesc, Testbed};
+//! use neo_workload::{synthetic, ArrivalProcess};
+//!
+//! let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+//! let engine = Engine::new(cost, EngineConfig::default(), Box::new(NeoScheduler::new()));
+//! let trace = synthetic(8, 300, 40, ArrivalProcess::AllAtOnce, 1);
+//! let result = run_offline(engine, &trace, 1_000_000);
+//! assert_eq!(result.completed, 8);
+//! assert!(result.token_throughput > 0.0);
+//! ```
 
 pub mod metrics;
 pub mod offline;

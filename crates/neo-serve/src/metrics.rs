@@ -48,11 +48,7 @@ impl Cdf {
     /// `(value, cumulative_fraction)` points for plotting, one per sample.
     pub fn points(&self) -> Vec<(f64, f64)> {
         let n = self.sorted.len();
-        self.sorted
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
-            .collect()
+        self.sorted.iter().enumerate().map(|(i, &v)| (v, (i + 1) as f64 / n as f64)).collect()
     }
 
     /// Mean of the samples, or `None` when empty.

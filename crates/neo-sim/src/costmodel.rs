@@ -57,9 +57,7 @@ impl CostModel {
             testbed.gpu_eff_bw(),
             testbed.gpu.kernel_launch_overhead,
         );
-        let cpu_bw = testbed
-            .cpu_eff_bw()
-            .min(testbed.cpu.cores as f64 * PER_CORE_STREAM_BW);
+        let cpu_bw = testbed.cpu_eff_bw().min(testbed.cpu.cores as f64 * PER_CORE_STREAM_BW);
         let cpu = Roofline::new(testbed.cpu.flops, cpu_bw, testbed.cpu.dispatch_overhead);
         Self { model, testbed, tp, gpu, cpu, max_batch_tokens: 8192, allreduce_overlap: 0.0 }
     }
@@ -131,8 +129,8 @@ impl CostModel {
     /// 13 GB LLaMa-2-7B keeps only a sliver for KV), which is exactly the regime where the
     /// paper reports up to 7.5× gains.
     pub fn gpu_kv_capacity_tokens(&self) -> usize {
-        let per_gpu_budget = (self.testbed.gpu.mem_bytes as f64
-            * self.testbed.gpu_mem_utilization) as i64
+        let per_gpu_budget = (self.testbed.gpu.mem_bytes as f64 * self.testbed.gpu_mem_utilization)
+            as i64
             - self.weight_bytes_per_gpu() as i64
             - (self.model.activation_bytes(self.max_batch_tokens) / self.tp as u64) as i64;
         if per_gpu_budget <= 0 {
@@ -306,11 +304,10 @@ impl CostModel {
         let head_tokens = n_seqs.max(1);
         let work = OpWork::new(
             self.model.lm_head_flops(head_tokens) / self.tp as f64,
-            (self.model.vocab * self.model.hidden * self.model.dtype_bytes) as f64
-                / self.tp as f64,
+            (self.model.vocab * self.model.hidden * self.model.dtype_bytes) as f64 / self.tp as f64,
         );
-        let embed = (n_tokens * self.model.hidden * self.model.dtype_bytes) as f64
-            / self.gpu.bandwidth;
+        let embed =
+            (n_tokens * self.model.hidden * self.model.dtype_bytes) as f64 / self.gpu.bandwidth;
         self.gpu.time(work) + embed + self.python_overhead(n_seqs)
     }
 

@@ -266,7 +266,7 @@ impl Testbed {
     ///
     /// Panics if `num_gpus` is zero or greater than 8.
     pub fn hgx_h100(num_gpus: usize) -> Self {
-        assert!(num_gpus >= 1 && num_gpus <= 8, "HGX has 1..=8 GPUs");
+        assert!((1..=8).contains(&num_gpus), "HGX has 1..=8 GPUs");
         Self {
             name: format!("hgx-{num_gpus}xH100"),
             gpu: GpuSpec::h100(),

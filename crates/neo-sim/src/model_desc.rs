@@ -200,8 +200,10 @@ impl ModelDesc {
     /// estimate covering residual streams, QKV and FFN intermediates for one layer at a
     /// time, double-buffered).
     pub fn activation_bytes(&self, n: usize) -> u64 {
-        let per_token = 2 * (2 * self.hidden + 2 * self.intermediate
-            + (self.n_heads + 2 * self.n_kv_heads) * self.head_dim);
+        let per_token = 2
+            * (2 * self.hidden
+                + 2 * self.intermediate
+                + (self.n_heads + 2 * self.n_kv_heads) * self.head_dim);
         (n * per_token * self.dtype_bytes) as u64
     }
 

@@ -67,8 +67,12 @@ pub trait IterationCost: Send + Sync {
     fn linear_time(&self, n_tokens: usize) -> f64;
     /// Per-layer GPU attention time (`Tga`) of a sub-batch with the given prefill chunks
     /// and decode context total.
-    fn gpu_attn_time(&self, prefill: &[(usize, usize)], decode_ctx: usize, decode_reqs: usize)
-        -> f64;
+    fn gpu_attn_time(
+        &self,
+        prefill: &[(usize, usize)],
+        decode_ctx: usize,
+        decode_reqs: usize,
+    ) -> f64;
     /// Per-layer CPU attention time (`Tca`) of `n_reqs` offloaded requests totalling
     /// `ctx_total` cached tokens.
     fn cpu_attn_time(&self, ctx_total: usize, n_reqs: usize) -> f64;

@@ -92,8 +92,8 @@ mod tests {
         let d = LengthDistribution::Uniform { lo: 10, hi: 20 };
         let samples: Vec<usize> = (0..500).map(|_| d.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&s| (10..=20).contains(&s)));
-        assert!(samples.iter().any(|&s| s == 10));
-        assert!(samples.iter().any(|&s| s == 20));
+        assert!(samples.contains(&10));
+        assert!(samples.contains(&20));
     }
 
     #[test]

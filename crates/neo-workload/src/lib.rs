@@ -13,6 +13,18 @@
 //! The original trace files are not redistributable, so [`datasets`] generates synthetic
 //! traces whose length statistics match the published characteristics (documented on each
 //! constructor); arrivals follow a Poisson process as in §5.2 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use neo_workload::{azure_code_like, ArrivalProcess};
+//!
+//! let trace = azure_code_like(100, ArrivalProcess::Poisson { rate: 1.0 }, 42);
+//! let stats = trace.stats();
+//! assert_eq!(stats.count, 100);
+//! // Coding-assistant prompts dwarf their outputs.
+//! assert!(stats.mean_prompt > stats.mean_output);
+//! ```
 
 pub mod arrivals;
 pub mod datasets;

@@ -41,7 +41,8 @@ pub struct TraceStats {
 impl Trace {
     /// Builds a trace, sorting the requests by arrival time.
     pub fn new(mut requests: Vec<TraceRequest>) -> Self {
-        requests.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap_or(std::cmp::Ordering::Equal));
+        requests
+            .sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap_or(std::cmp::Ordering::Equal));
         Self { requests }
     }
 
@@ -64,11 +65,7 @@ impl Trace {
     /// trace at once"), as the offline-throughput experiments do (§5.5).
     pub fn as_offline(&self) -> Trace {
         Trace {
-            requests: self
-                .requests
-                .iter()
-                .map(|r| TraceRequest { arrival: 0.0, ..*r })
-                .collect(),
+            requests: self.requests.iter().map(|r| TraceRequest { arrival: 0.0, ..*r }).collect(),
         }
     }
 
@@ -96,11 +93,7 @@ impl Trace {
             mean_output: outputs.iter().sum::<usize>() as f64 / count as f64,
             p95_prompt: p95(&prompts),
             p95_output: p95(&outputs),
-            total_tokens: self
-                .requests
-                .iter()
-                .map(|r| (r.prompt_len + r.output_len) as u64)
-                .sum(),
+            total_tokens: self.requests.iter().map(|r| (r.prompt_len + r.output_len) as u64).sum(),
             duration: self.requests.last().map(|r| r.arrival).unwrap_or(0.0),
         }
     }

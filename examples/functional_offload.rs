@@ -27,9 +27,8 @@ fn generate(
 ) -> Vec<u32> {
     let desc = model.desc().clone();
     let mut cache = PagedKvCache::new(&desc, 16, 4096, 8192);
-    let mut logits = model
-        .prefill(1, prompt, &mut cache, start_device)
-        .expect("prompt fits in the cache");
+    let mut logits =
+        model.prefill(1, prompt, &mut cache, start_device).expect("prompt fits in the cache");
     let mut output = Vec::new();
     for step in 0..steps {
         if swap_halfway && step == steps / 2 {

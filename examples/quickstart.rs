@@ -25,12 +25,9 @@ fn run(label: &str, scheduler: Box<dyn Scheduler>) -> (f64, f64) {
     let makespan = engine.now();
     let tokens: u64 = engine.total_decode_tokens() + engine.total_prefill_tokens();
     let throughput = tokens as f64 / makespan;
-    let mean_latency: f64 = engine
-        .completed()
-        .iter()
-        .filter_map(|r| r.per_token_latency())
-        .sum::<f64>()
-        / engine.completed().len() as f64;
+    let mean_latency: f64 =
+        engine.completed().iter().filter_map(|r| r.per_token_latency()).sum::<f64>()
+            / engine.completed().len() as f64;
     println!(
         "{label:>10}: {:>7.0} tokens/s, mean per-token latency {:.3}s, makespan {:.1}s",
         throughput, mean_latency, makespan

@@ -1,0 +1,259 @@
+//! A minimal, API-compatible subset of [`criterion`](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! Vendored because the build environment has no crates.io access. Implements
+//! the macro and builder surface this workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], benchmark groups, throughput
+//! annotation, `iter`/`iter_batched`/`iter_batched_ref` — with plain
+//! wall-clock timing: each benchmark warms up briefly, then reports the mean
+//! and best iteration time (and derived throughput) on stdout. There is no
+//! statistical analysis, HTML report, or saved baseline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().label, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with input throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a function under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self { label: label.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Input volume processed per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output to batch per timing measurement (ignored by the
+/// shim; every iteration gets a fresh input).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times closures; handed to bench functions.
+pub struct Bencher {
+    /// Mean/best duration of a single iteration, collected per sample.
+    samples: Vec<Duration>,
+    /// Inner-loop count for [`Bencher::iter`], calibrated on first use so
+    /// sub-microsecond routines are not swamped by `Instant::now` overhead.
+    iters_per_sample: Option<u32>,
+}
+
+/// Minimum wall-clock time one [`Bencher::iter`] sample should span.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_micros(50);
+
+impl Bencher {
+    /// Times `routine`, looping it enough times per sample that timer
+    /// overhead is amortized; the recorded duration is per single call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = *self.iters_per_sample.get_or_insert_with(|| {
+            let start = Instant::now();
+            black_box(routine());
+            let once = start.elapsed().max(Duration::from_nanos(1));
+            (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32
+        });
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / n);
+    }
+
+    /// Times `routine` on a fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.samples.push(start.elapsed());
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by mutable
+    /// reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        let start = Instant::now();
+        black_box(routine(&mut input));
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher =
+        Bencher { samples: Vec::with_capacity(sample_size + 3), iters_per_sample: None };
+    // Warm-up: a few untimed calls populate caches and lazy state.
+    for _ in 0..3.min(sample_size) {
+        f(&mut bencher);
+    }
+    bencher.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    // A bench function that never calls an iter method produces no samples.
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let best = bencher.samples.iter().min().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean > Duration::ZERO => {
+            format!("  {:>10.2} MiB/s", bytes as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>10.2} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{label:<50} mean {mean:>12.3?}  best {best:>12.3?}{rate}");
+}
+
+/// Bundles bench functions into one callable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

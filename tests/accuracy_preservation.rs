@@ -57,10 +57,7 @@ fn swapping_kv_between_pools_never_changes_logits() {
     let mut sub_logits = model.prefill(1, &prompt, &mut subject, Device::Gpu).unwrap();
 
     for step in 0..10 {
-        assert!(
-            close(&ref_logits, &sub_logits, 1e-4),
-            "logits diverged at step {step}"
-        );
+        assert!(close(&ref_logits, &sub_logits, 1e-4), "logits diverged at step {step}");
         let token = argmax(&ref_logits);
         let target = subject.device_of(1).unwrap().other();
         subject.swap(1, target).unwrap();

@@ -46,9 +46,11 @@ fn neo_latency_tracks_vllm_at_low_load() {
 #[test]
 fn neo_sustains_more_load_than_vllm_on_the_t4() {
     // The Figure 6c story: on the memory-starved T4 the GPU-only engine saturates at a
-    // much lower request rate than NEO.
+    // much lower request rate than NEO. The rate must sit past the GPU-only knee, which
+    // depends on the exact RNG stream behind the trace; with the vendored rand shim the
+    // curves separate decisively at 2 req/s (see fig6_load_latency).
     let scenario = Scenario::t4_7b();
-    let rate = 1.0;
+    let rate = 2.0;
     let trace = osc_like(60, ArrivalProcess::Poisson { rate }, 3);
     let neo = run_online(scenario.engine(Policy::Neo), &trace, rate, MAX_ITERS);
     let vllm = run_online(scenario.engine(Policy::VllmLike), &trace, rate, MAX_ITERS);
@@ -65,7 +67,8 @@ fn neo_beats_the_baseline_where_the_paper_says_it_should() {
     // Offline relative throughput on a mid-length synthetic workload (the Figure 9 peak
     // region): NEO > GPU-only on both the A10G and (dramatically) the T4.
     for (scenario, min_gain) in [(Scenario::a10g_8b(), 1.02), (Scenario::t4_7b(), 1.3)] {
-        let trace = synthetic(80, 1000.min(scenario.model.hidden * 4), 150, ArrivalProcess::AllAtOnce, 4);
+        let trace =
+            synthetic(80, 1000.min(scenario.model.hidden * 4), 150, ArrivalProcess::AllAtOnce, 4);
         let baseline = run_offline(scenario.engine(Policy::SwiftLlmLike), &trace, MAX_ITERS);
         let neo = run_offline(scenario.engine(Policy::Neo), &trace, MAX_ITERS);
         let gain = neo.token_throughput / baseline.token_throughput;
@@ -88,7 +91,10 @@ fn fastdecode_plus_collapses_at_long_outputs_but_neo_does_not() {
     let neo = run_offline(scenario.engine(Policy::Neo), &trace, MAX_ITERS);
     let fd_rel = fastdecode.token_throughput / baseline.token_throughput;
     let neo_rel = neo.token_throughput / baseline.token_throughput;
-    assert!(fd_rel < 1.0, "FastDecode+ should fall below baseline at 300-token outputs: {fd_rel:.3}");
+    assert!(
+        fd_rel < 1.0,
+        "FastDecode+ should fall below baseline at 300-token outputs: {fd_rel:.3}"
+    );
     assert!(neo_rel > fd_rel, "NEO ({neo_rel:.3}) must beat FastDecode+ ({fd_rel:.3})");
     assert!(neo_rel > 0.9, "NEO must stay close to or above the baseline: {neo_rel:.3}");
 }
