@@ -75,6 +75,7 @@ fn ctx(fx: &Fixture) -> ScheduleContext<'_> {
         gpu_free_tokens: 30_000,
         cpu_free_tokens: 300_000,
         prefill_device: &fx.prefill_device,
+        admission_backlog: 0,
     }
 }
 

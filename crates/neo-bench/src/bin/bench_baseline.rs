@@ -1,0 +1,263 @@
+//! Performance-regression gate over the four criterion micro-bench targets.
+//!
+//! Runs `cargo bench` for each target in quick mode with the criterion shim's JSON
+//! emission enabled (`CRITERION_JSON_DIR`), collects the per-benchmark estimates, and
+//! either records them as the checked-in baselines (`BENCH_<bench>.json` at the
+//! repository root) or diffs the fresh numbers against those baselines:
+//!
+//! ```text
+//! # refresh the checked-in baselines (run on the reference machine)
+//! cargo run -p neo-bench --bin bench_baseline -- --write-baseline
+//!
+//! # fail (exit 1) if any benchmark's mean regressed more than 50% vs its baseline
+//! cargo run -p neo-bench --bin bench_baseline -- --check-baseline 0.5
+//! ```
+//!
+//! `--samples <n>` controls the quick-mode sample count (default 10) and `--no-run`
+//! skips the bench invocation and diffs the JSON already in `target/criterion-json`
+//! (useful when iterating on tolerances). A regression is `current_median >
+//! baseline_median * (1 + tolerance)` — the median, not the mean, because scheduler
+//! jitter skews a handful of quick-mode samples far more than it shifts their middle.
+//! Improvements never fail. Missing or extra benchmark ids fail the check too — they
+//! mean the baselines are stale.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use serde::{Deserialize, Serialize};
+
+/// The four criterion bench targets of `neo-bench`.
+const BENCHES: [&str; 4] = ["kernels", "kvcache", "pipeline", "scheduler"];
+
+/// Quick-mode sample count used when `--samples` is not given.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Mirror of the JSON report the criterion shim writes (see `shims/README.md`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    bench: String,
+    benchmarks: Vec<BenchEstimate>,
+}
+
+/// One benchmark's estimate within a report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchEstimate {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    best_ns: f64,
+    samples: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    WriteBaseline,
+    CheckBaseline { tolerance: f64 },
+}
+
+#[derive(Debug, Clone)]
+struct Args {
+    mode: Mode,
+    samples: usize,
+    run_benches: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut mode = None;
+    let mut samples = DEFAULT_SAMPLES;
+    let mut run_benches = true;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--write-baseline" => mode = Some(Mode::WriteBaseline),
+            "--check-baseline" => {
+                let tol = argv
+                    .next()
+                    .ok_or("--check-baseline needs a tolerance, e.g. 0.5 for +50%")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("invalid tolerance: {e}"))?;
+                if tol <= -1.0 {
+                    return Err("tolerance must be greater than -1".into());
+                }
+                mode = Some(Mode::CheckBaseline { tolerance: tol });
+            }
+            "--samples" => {
+                samples = argv
+                    .next()
+                    .ok_or("--samples needs a count")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("invalid sample count: {e}"))?
+                    .max(1);
+            }
+            "--no-run" => run_benches = false,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let mode = mode.ok_or("pass --write-baseline or --check-baseline <tolerance>")?;
+    Ok(Args { mode, samples, run_benches })
+}
+
+/// Repository root: two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn baseline_path(root: &Path, bench: &str) -> PathBuf {
+    root.join(format!("BENCH_{bench}.json"))
+}
+
+fn current_path(json_dir: &Path, bench: &str) -> PathBuf {
+    json_dir.join(format!("{bench}.json"))
+}
+
+fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    serde_json::from_str(&body).map_err(|e| format!("could not parse {}: {e}", path.display()))
+}
+
+/// Runs one bench target with JSON emission into `json_dir`.
+fn run_bench(bench: &str, json_dir: &Path, samples: usize) -> Result<(), String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    println!("== running bench target `{bench}` ({samples} samples) ==");
+    let status = Command::new(cargo)
+        .args(["bench", "-p", "neo-bench", "--bench", bench])
+        .env("CRITERION_JSON_DIR", json_dir)
+        .env("CRITERION_SAMPLE_SIZE", samples.to_string())
+        .status()
+        .map_err(|e| format!("could not spawn cargo bench: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench --bench {bench} failed with {status}"));
+    }
+    Ok(())
+}
+
+/// One row of the comparison table.
+struct Comparison {
+    id: String,
+    baseline_ns: f64,
+    current_ns: f64,
+    regressed: bool,
+}
+
+/// Diffs current estimates against the baseline; `Err` rows are id mismatches.
+fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+) -> (Vec<Comparison>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut problems = Vec::new();
+    for base in &baseline.benchmarks {
+        match current.benchmarks.iter().find(|c| c.id == base.id) {
+            Some(cur) => rows.push(Comparison {
+                id: base.id.clone(),
+                baseline_ns: base.median_ns,
+                current_ns: cur.median_ns,
+                regressed: cur.median_ns > base.median_ns * (1.0 + tolerance),
+            }),
+            None => problems.push(format!(
+                "benchmark `{}` is in the baseline but was not produced by the run \
+                 (renamed or removed? refresh with --write-baseline)",
+                base.id
+            )),
+        }
+    }
+    for cur in &current.benchmarks {
+        if !baseline.benchmarks.iter().any(|b| b.id == cur.id) {
+            problems.push(format!(
+                "benchmark `{}` has no checked-in baseline (new bench? refresh with \
+                 --write-baseline)",
+                cur.id
+            ));
+        }
+    }
+    (rows, problems)
+}
+
+fn check(root: &Path, json_dir: &Path, tolerance: f64) -> Result<bool, String> {
+    let mut ok = true;
+    for bench in BENCHES {
+        let baseline = load_report(&baseline_path(root, bench))?;
+        let current = load_report(&current_path(json_dir, bench))?;
+        let (rows, problems) = compare(&baseline, &current, tolerance);
+        println!("\n== {bench}: baseline vs current (tolerance +{:.0}%) ==", tolerance * 100.0);
+        println!("{:<50} {:>14} {:>14} {:>8}  status", "id", "baseline", "current", "ratio");
+        for row in &rows {
+            let ratio = row.current_ns / row.baseline_ns.max(f64::MIN_POSITIVE);
+            println!(
+                "{:<50} {:>12.1}ns {:>12.1}ns {:>7.2}x  {}",
+                row.id,
+                row.baseline_ns,
+                row.current_ns,
+                ratio,
+                if row.regressed { "REGRESSED" } else { "ok" }
+            );
+            if row.regressed {
+                ok = false;
+            }
+        }
+        for problem in &problems {
+            println!("problem: {problem}");
+            ok = false;
+        }
+    }
+    Ok(ok)
+}
+
+fn write_baselines(root: &Path, json_dir: &Path) -> Result<(), String> {
+    for bench in BENCHES {
+        // Round-trip through the report type so a shim format drift fails loudly here
+        // rather than in CI.
+        let report = load_report(&current_path(json_dir, bench))?;
+        let path = baseline_path(root, bench);
+        let body = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("could not serialise {bench}: {e}"))?;
+        std::fs::write(&path, body + "\n")
+            .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: bench_baseline (--write-baseline | --check-baseline <tolerance>) \
+                 [--samples <n>] [--no-run]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = repo_root();
+    let json_dir = root.join("target").join("criterion-json");
+    if args.run_benches {
+        for bench in BENCHES {
+            if let Err(e) = run_bench(bench, &json_dir, args.samples) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let outcome = match args.mode {
+        Mode::WriteBaseline => write_baselines(&root, &json_dir).map(|()| true),
+        Mode::CheckBaseline { tolerance } => check(&root, &json_dir, tolerance),
+    };
+    match outcome {
+        Ok(true) => {
+            println!("\nbench baseline: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("\nbench baseline: FAILED (regressions or id mismatches above)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

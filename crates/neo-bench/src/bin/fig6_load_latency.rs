@@ -24,6 +24,8 @@ struct RatePoint {
     rate: f64,
     avg_per_token_latency: f64,
     p90_per_token_latency: f64,
+    mean_ttft: f64,
+    p99_itl: f64,
     offload_fraction: f64,
 }
 
@@ -83,6 +85,8 @@ fn main() {
                     rate,
                     avg_per_token_latency: result.avg_per_token_latency,
                     p90_per_token_latency: result.per_token_latency.p90,
+                    mean_ttft: result.ttft.mean,
+                    p99_itl: result.itl.map(|s| s.p99).unwrap_or(f64::NAN),
                     offload_fraction: result.offload_fraction,
                 };
                 rows.push(vec![
@@ -90,6 +94,8 @@ fn main() {
                     format!("{:.2}", point.rate),
                     format!("{:.3}", point.avg_per_token_latency),
                     format!("{:.3}", point.p90_per_token_latency),
+                    format!("{:.3}", point.mean_ttft),
+                    format!("{:.3}", point.p99_itl),
                     format!("{:.2}", point.offload_fraction),
                 ]);
                 all_points.push(point);
@@ -97,7 +103,15 @@ fn main() {
         }
         print_table(
             &format!("Figure 6: load vs per-token latency — {}", setting.scenario.name),
-            &["policy", "req/s", "avg tok lat (s)", "p90 tok lat (s)", "offload frac"],
+            &[
+                "policy",
+                "req/s",
+                "avg tok lat (s)",
+                "p90 tok lat (s)",
+                "TTFT (s)",
+                "p99 ITL (s)",
+                "offload frac",
+            ],
             &rows,
         );
 

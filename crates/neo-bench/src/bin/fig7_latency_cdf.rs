@@ -15,6 +15,11 @@ struct CdfSummary {
     rate: f64,
     quantiles: Vec<(f64, f64)>,
     mean: f64,
+    /// Streaming latency summaries from the serving loop (the CDF figure's companions).
+    mean_ttft: f64,
+    p99_ttft: f64,
+    mean_itl: f64,
+    p99_itl: f64,
 }
 
 fn main() {
@@ -36,11 +41,16 @@ fn main() {
                 .chain(std::iter::once(format!("{:.3}", result.avg_per_token_latency)))
                 .collect::<Vec<_>>(),
         );
+        let itl = result.itl.expect("multi-token outputs");
         summaries.push(CdfSummary {
             policy: policy.label().to_string(),
             rate,
             quantiles,
             mean: result.avg_per_token_latency,
+            mean_ttft: result.ttft.mean,
+            p99_ttft: result.ttft.p99,
+            mean_itl: itl.mean,
+            p99_itl: itl.p99,
         });
     }
 
@@ -52,6 +62,24 @@ fn main() {
         "Figure 7: per-token latency quantiles (s), A10G + LLaMa-3.1-8B + AC @ 1.6 req/s",
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         &rows,
+    );
+
+    // Streaming latency companions: TTFT and ITL at the same operating point.
+    print_table(
+        "Time-to-first-token and inter-token latency (s)",
+        &["policy", "mean TTFT", "p99 TTFT", "mean ITL", "p99 ITL"],
+        &summaries
+            .iter()
+            .map(|s| {
+                vec![
+                    s.policy.clone(),
+                    format!("{:.3}", s.mean_ttft),
+                    format!("{:.3}", s.p99_ttft),
+                    format!("{:.3}", s.mean_itl),
+                    format!("{:.3}", s.p99_itl),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 
     // The comparable-latency check the figure makes visually.

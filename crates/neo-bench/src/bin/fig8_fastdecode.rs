@@ -17,6 +17,7 @@ struct OnlinePoint {
     policy: String,
     rate: f64,
     avg_per_token_latency: f64,
+    mean_ttft: f64,
 }
 
 #[derive(Serialize)]
@@ -40,17 +41,19 @@ fn main() {
                 policy.label().to_string(),
                 format!("{rate:.1}"),
                 format!("{:.3}", result.avg_per_token_latency),
+                format!("{:.3}", result.ttft.mean),
             ]);
             online_points.push(OnlinePoint {
                 policy: policy.label().to_string(),
                 rate,
                 avg_per_token_latency: result.avg_per_token_latency,
+                mean_ttft: result.ttft.mean,
             });
         }
     }
     print_table(
         "Figure 8a: online per-token latency, 2xH100 + LLaMa-3.1-70B + AC",
-        &["policy", "req/s", "avg tok lat (s)"],
+        &["policy", "req/s", "avg tok lat (s)", "TTFT (s)"],
         &online_rows,
     );
 

@@ -26,6 +26,12 @@ pub struct EngineConfig {
     /// Whether the engine models layer-wise swap overlap (true, NEO) or charges the whole
     /// transfer at the end of the iteration (false, the strawman in §3.1).
     pub layerwise_swap_overlap: bool,
+    /// Admission backpressure threshold: once this many requests sit in the prefill
+    /// waitqueue the engine reports itself as saturated ([`crate::Engine::can_admit`]
+    /// returns `false`) and the serving layer holds further arrivals in its own backlog
+    /// instead of submitting them. Requests are *delayed*, never dropped. The default is
+    /// high enough that the paper-figure workloads are unaffected.
+    pub max_waiting_requests: usize,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +44,7 @@ impl Default for EngineConfig {
             balance_slack: 0.05,
             profile_noise: 0.0,
             layerwise_swap_overlap: true,
+            max_waiting_requests: 1024,
         }
     }
 }
@@ -65,6 +72,9 @@ impl EngineConfig {
         if self.profile_noise < 0.0 || self.profile_noise > 0.5 {
             problems.push("profile_noise must be within [0, 0.5]".to_string());
         }
+        if self.max_waiting_requests == 0 {
+            problems.push("max_waiting_requests must be positive".to_string());
+        }
         problems
     }
 }
@@ -88,9 +98,10 @@ mod tests {
             balance_slack: -1.0,
             profile_noise: 0.9,
             layerwise_swap_overlap: true,
+            max_waiting_requests: 0,
         };
         let problems = bad.validate();
-        assert_eq!(problems.len(), 6);
+        assert_eq!(problems.len(), 7);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub struct Engine {
     iterations: u64,
     total_decode_tokens: u64,
     total_prefill_tokens: u64,
+    admission_backlog: usize,
 }
 
 impl std::fmt::Debug for Engine {
@@ -125,6 +126,7 @@ impl Engine {
             iterations: 0,
             total_decode_tokens: 0,
             total_prefill_tokens: 0,
+            admission_backlog: 0,
         }
     }
 
@@ -162,6 +164,52 @@ impl Engine {
     /// Whether no request is waiting or running.
     pub fn is_idle(&self) -> bool {
         self.requests.is_empty()
+    }
+
+    /// Whether the prefill waitqueue has room for another admission.
+    ///
+    /// This is the engine's admission-backpressure signal: when the waitqueue already
+    /// holds [`EngineConfig::max_waiting_requests`] requests, a serving loop should hold
+    /// further arrivals in its own backlog (delaying, never dropping them) instead of
+    /// calling [`Engine::submit`].
+    pub fn can_admit(&self) -> bool {
+        self.waiting.len() < self.config.max_waiting_requests
+    }
+
+    /// Tells the engine how many accepted-but-not-yet-admitted requests the serving layer
+    /// is holding back. Purely advisory: it is surfaced to schedulers through
+    /// [`ScheduleContext::admission_backlog`] so load-aware policies can see pressure
+    /// beyond the waitqueue.
+    pub fn set_admission_backlog(&mut self, backlog: usize) {
+        self.admission_backlog = backlog;
+    }
+
+    /// A live (submitted, not yet finished or evicted) request by id.
+    pub fn request(&self, id: u64) -> Option<&Request> {
+        self.requests.get(&id)
+    }
+
+    /// Evicts a live request mid-flight (serving-layer cancellation): its KV blocks are
+    /// freed immediately — even mid-decode — it is removed from every queue, and it is
+    /// returned marked [`RequestState::Cancelled`]. Returns `None` if the id is not live
+    /// (never submitted, already finished, or already evicted); finished requests stay in
+    /// [`Engine::completed`].
+    pub fn evict(&mut self, id: u64) -> Option<Request> {
+        let mut request = self.requests.remove(&id)?;
+        self.release_execution_state(id);
+        self.waiting.retain(|&x| x != id);
+        request.state = RequestState::Cancelled;
+        Some(request)
+    }
+
+    /// Frees a request's KV cache and removes it from the run queues and prefill
+    /// tracking. The waitqueue is each caller's business: preemption re-queues the
+    /// request there, while retirement and eviction drop it.
+    fn release_execution_state(&mut self, id: u64) {
+        let _ = self.kv.free_sequence(id);
+        self.gpu_run.retain(|&x| x != id);
+        self.cpu_run.retain(|&x| x != id);
+        self.prefill_device.remove(&id);
     }
 
     /// Number of live (not yet finished) requests.
@@ -225,6 +273,7 @@ impl Engine {
                 gpu_free_tokens: self.kv.free_tokens(Device::Gpu),
                 cpu_free_tokens: self.kv.free_tokens(Device::Cpu),
                 prefill_device: &self.prefill_device,
+                admission_backlog: self.admission_backlog,
             };
             self.scheduler.schedule(&ctx)
         };
@@ -252,10 +301,7 @@ impl Engine {
             if !self.requests.contains_key(&id) {
                 continue;
             }
-            let _ = self.kv.free_sequence(id);
-            self.gpu_run.retain(|&x| x != id);
-            self.cpu_run.retain(|&x| x != id);
-            self.prefill_device.remove(&id);
+            self.release_execution_state(id);
             let request = self.requests.get_mut(&id).expect("checked above");
             request.preempt();
             if !self.waiting.contains(&id) {
@@ -387,11 +433,8 @@ impl Engine {
 
     /// Removes a finished request from every queue, frees its KV cache and archives it.
     fn retire(&mut self, id: u64, _device: Device) {
-        let _ = self.kv.free_sequence(id);
-        self.gpu_run.retain(|&x| x != id);
-        self.cpu_run.retain(|&x| x != id);
+        self.release_execution_state(id);
         self.waiting.retain(|&x| x != id);
-        self.prefill_device.remove(&id);
         if let Some(r) = self.requests.remove(&id) {
             self.completed.push(r);
         }
@@ -542,6 +585,69 @@ mod tests {
         e.run_to_completion(10_000);
         let ptl = e.completed()[0].per_token_latency().unwrap();
         assert!(ptl > 1e-3 && ptl < 1.0, "per-token latency {ptl}");
+    }
+
+    #[test]
+    fn evicting_a_decoding_request_frees_its_kv_blocks() {
+        let mut e = a10g_engine();
+        e.submit(Request::new(1, 0.0, 100, 400));
+        e.submit(Request::new(2, 0.0, 100, 400));
+        // Step until both requests hold KV and are decoding.
+        while e.kv().num_sequences() < 2 {
+            e.step();
+        }
+        let gpu_free_before = e.kv().free_tokens(Device::Gpu);
+        let evicted = e.evict(1).expect("request 1 is live");
+        assert!(evicted.is_cancelled());
+        assert!(evicted.generated < evicted.output_len, "evicted mid-decode");
+        assert_eq!(e.kv().num_sequences(), 1, "the cancelled KV must be freed immediately");
+        assert!(e.kv().free_tokens(Device::Gpu) > gpu_free_before);
+        assert!(e.request(1).is_none());
+        assert_eq!(e.live_requests(), 1);
+        // The eviction never surfaces in completed(), and the survivor still finishes.
+        e.run_to_completion(100_000);
+        assert_eq!(e.completed().len(), 1);
+        assert_eq!(e.completed()[0].id, 2);
+        assert_eq!(e.kv().num_sequences(), 0);
+    }
+
+    #[test]
+    fn evicting_unknown_or_finished_requests_returns_none() {
+        let mut e = a10g_engine();
+        e.submit(Request::new(7, 0.0, 50, 4));
+        e.run_to_completion(10_000);
+        assert_eq!(e.completed().len(), 1);
+        assert!(e.evict(7).is_none(), "finished requests are not evictable");
+        assert!(e.evict(99).is_none());
+    }
+
+    #[test]
+    fn evicting_a_waiting_request_works_before_prefill() {
+        let mut e = a10g_engine();
+        e.submit(Request::new(3, 0.0, 100, 10));
+        let evicted = e.evict(3).expect("waiting request is live");
+        assert_eq!(evicted.prefilled, 0);
+        assert!(e.is_idle());
+        assert_eq!(e.kv().num_sequences(), 0);
+    }
+
+    #[test]
+    fn admission_backpressure_reflects_the_waitqueue() {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        let config = EngineConfig { max_waiting_requests: 2, ..EngineConfig::default() };
+        let mut e = Engine::new(cost, config, Box::new(NeoScheduler::new()));
+        assert!(e.can_admit());
+        e.submit(Request::new(1, 0.0, 50, 4));
+        assert!(e.can_admit());
+        e.submit(Request::new(2, 0.0, 50, 4));
+        assert!(!e.can_admit(), "waitqueue at max_waiting_requests means backpressure");
+        // Prefilling drains the waitqueue and lifts the backpressure.
+        while !e.can_admit() {
+            e.step();
+        }
+        e.set_admission_backlog(3); // advisory; next step surfaces it to the scheduler
+        e.run_to_completion(10_000);
+        assert_eq!(e.completed().len(), 2);
     }
 
     #[test]

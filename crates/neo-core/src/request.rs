@@ -15,6 +15,9 @@ pub enum RequestState {
     RunningCpu,
     /// All output tokens produced; KV cache released.
     Finished,
+    /// Cancelled by the serving layer before finishing; KV cache released. Terminal, like
+    /// [`RequestState::Finished`], but the request never counts as completed.
+    Cancelled,
 }
 
 /// One inference request and its progress.
@@ -91,6 +94,11 @@ impl Request {
     /// Whether the request is in one of the decoding states.
     pub fn is_running(&self) -> bool {
         matches!(self.state, RequestState::RunningGpu | RequestState::RunningCpu)
+    }
+
+    /// Whether the request was cancelled by the serving layer.
+    pub fn is_cancelled(&self) -> bool {
+        self.state == RequestState::Cancelled
     }
 
     /// Total tokens (prompt + full output) this request will process when complete.
@@ -229,6 +237,19 @@ mod tests {
         r.advance_prefill(2);
         r.advance_decode(0.5);
         r.preempt();
+    }
+
+    #[test]
+    fn cancelled_state_is_terminal_and_not_finished() {
+        let mut r = Request::new(1, 0.0, 10, 5);
+        r.advance_prefill(10);
+        r.advance_decode(1.0);
+        r.state = RequestState::Cancelled;
+        assert!(r.is_cancelled());
+        assert!(!r.is_running());
+        assert!(!r.is_finished(), "cancelled requests never count as completed");
+        assert_eq!(r.latency(), None);
+        assert_eq!(r.ttft(), Some(1.0), "already-streamed tokens keep their TTFT");
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct ScheduleContext<'a> {
     /// Device each partially-prefilled request's KV currently resides on (absent for
     /// requests that have not started prefill).
     pub prefill_device: &'a HashMap<u64, Device>,
+    /// Requests the serving layer has accepted but is holding back because the engine
+    /// reported admission backpressure ([`crate::Engine::can_admit`] was `false`).
+    /// Advisory load signal: none of the bundled policies act on it yet, but load-aware
+    /// schedulers (and the pipelined-offloading baselines planned in the roadmap) can use
+    /// it to see queueing pressure beyond the waitqueue.
+    pub admission_backlog: usize,
 }
 
 impl ScheduleContext<'_> {
@@ -394,6 +400,7 @@ mod tests {
                 gpu_free_tokens: self.gpu_free,
                 cpu_free_tokens: self.cpu_free,
                 prefill_device: &self.prefill_device,
+                admission_backlog: 0,
             };
             NeoScheduler::new().schedule(&ctx)
         }
@@ -522,6 +529,7 @@ mod tests {
             gpu_free_tokens: fx.gpu_free,
             cpu_free_tokens: fx.cpu_free,
             prefill_device: &fx.prefill_device,
+            admission_backlog: 0,
         };
         let _ = s.schedule(&ctx);
         let _ = s.schedule(&ctx);

@@ -12,7 +12,7 @@
 //!   functional model for the GPU-side sub-batch.
 //! * [`softmax`] — numerically stable softmax and the online-softmax merge primitive.
 //! * [`rope`] — rotary position embeddings applied to Q/K before caching.
-//! * [`reference`] — slow, obviously-correct dense attention used by the test suite to
+//! * [`mod@reference`] — slow, obviously-correct dense attention used by the test suite to
 //!   validate every kernel.
 //!
 //! The kernels operate on `f32` slices laid out `[token, head, head_dim]` and read the KV

@@ -12,6 +12,13 @@
 //! [`online::run_online`] and [`offline::run_offline`] drive a [`neo_core::Engine`]
 //! (with any scheduler) over a [`neo_workload::Trace`] and collect those metrics.
 //!
+//! Underneath the online driver sits the event-driven serving loop ([`server::Server`]):
+//! requests are submitted individually (returning a [`RequestHandle`]), can be cancelled
+//! mid-decode (freeing their KV blocks immediately), and stream their tokens through
+//! per-request callbacks — the surface a real client or HTTP front-end builds on. It also
+//! measures the two streaming latency metrics the paper's CDF figures need: time to first
+//! token (TTFT) and inter-token latency (ITL).
+//!
 //! # Example
 //!
 //! ```
@@ -31,7 +38,9 @@
 pub mod metrics;
 pub mod offline;
 pub mod online;
+pub mod server;
 
 pub use metrics::{Cdf, LatencySummary};
 pub use offline::{run_offline, OfflineResult};
 pub use online::{run_online, OnlineResult};
+pub use server::{RequestHandle, RequestStatus, Server, ServerReport, TokenCallback, TokenEvent};

@@ -1,11 +1,15 @@
 //! Online serving: Poisson arrivals driven through the engine in simulated time.
+//!
+//! [`run_online`] replays a [`Trace`] through the event-driven [`Server`] loop: each
+//! trace entry becomes an arrival event, and the loop admits, schedules, and streams
+//! tokens exactly as it would for live clients.
 
-use neo_core::request::Request;
 use neo_core::Engine;
 use neo_workload::Trace;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{Cdf, LatencySummary};
+use crate::server::Server;
 
 /// Result of one online serving run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,8 +27,12 @@ pub struct OnlineResult {
     pub per_token_latency: LatencySummary,
     /// End-to-end latency summary.
     pub request_latency: LatencySummary,
-    /// Mean time to first token.
-    pub mean_ttft: f64,
+    /// Time-to-first-token summary (p50/p90/p99), measured at token emission by the
+    /// serving loop.
+    pub ttft: LatencySummary,
+    /// Inter-token latency summary: gaps between consecutive streamed tokens of the same
+    /// request. `None` when no request produced a second token.
+    pub itl: Option<LatencySummary>,
     /// Output-token throughput over the whole run (generated tokens / makespan).
     pub decode_throughput: f64,
     /// Total simulated time of the run.
@@ -46,71 +54,37 @@ impl OnlineResult {
 /// metrics. `request_rate` is recorded in the result for labelling; the arrival times in
 /// the trace are authoritative.
 ///
+/// Implemented on the event-driven [`Server`] loop: the trace is fed as a stream of
+/// arrival events (see [`Trace::events`]), so this replay takes the exact code path a
+/// live client would.
+///
 /// # Panics
 ///
 /// Panics if the trace is empty or if the run exceeds `max_iterations` without finishing
 /// (which indicates a scheduler livelock).
 pub fn run_online(
-    mut engine: Engine,
+    engine: Engine,
     trace: &Trace,
     request_rate: f64,
     max_iterations: u64,
 ) -> OnlineResult {
     assert!(!trace.is_empty(), "cannot serve an empty trace");
     let scheduler = engine.scheduler_name().to_string();
-    let requests: Vec<Request> = trace
-        .requests()
-        .iter()
-        .enumerate()
-        .map(|(i, r)| Request::new(i as u64, r.arrival, r.prompt_len, r.output_len))
-        .collect();
-    let total = requests.len();
+    let total = trace.len();
 
-    let mut pending = requests.into_iter().peekable();
-    let mut iterations = 0u64;
-    let mut offload_iterations = 0u64;
-    let mut busy_iterations = 0u64;
-
-    loop {
-        // Admit every request that has arrived by the current simulated time.
-        while pending.peek().map(|r| r.arrival_time <= engine.now()).unwrap_or(false) {
-            let r = pending.next().expect("peeked");
-            engine.submit(r);
-        }
-        if engine.is_idle() {
-            match pending.peek() {
-                Some(next) => {
-                    let t = next.arrival_time;
-                    engine.advance_to(t.max(engine.now()));
-                    continue;
-                }
-                None => break,
-            }
-        }
-        let report = engine.step();
-        if !report.idle {
-            busy_iterations += 1;
-            if report.cpu_offloaded > 0 {
-                offload_iterations += 1;
-            }
-        }
-        iterations += 1;
-        assert!(
-            iterations < max_iterations,
-            "online run exceeded {max_iterations} iterations with {} of {} requests done",
-            engine.completed().len(),
-            total
-        );
+    let mut server = Server::new(engine).with_max_iterations(max_iterations);
+    for event in trace.events() {
+        server.submit(event.time, event.prompt_len, event.output_len);
     }
+    let report = server.run_until_idle();
 
-    let completed = engine.completed();
+    let completed = server.engine().completed();
     assert_eq!(completed.len(), total, "all submitted requests must finish");
     let per_token_samples: Vec<f64> =
         completed.iter().filter_map(|r| r.per_token_latency()).collect();
     let request_latencies: Vec<f64> = completed.iter().filter_map(|r| r.latency()).collect();
-    let ttfts: Vec<f64> = completed.iter().filter_map(|r| r.ttft()).collect();
-    let makespan = engine.now();
-    let decode_tokens = engine.total_decode_tokens();
+    let makespan = server.engine().now();
+    let decode_tokens = server.engine().total_decode_tokens();
 
     OnlineResult {
         scheduler,
@@ -122,10 +96,11 @@ pub fn run_online(
             .expect("at least one request"),
         request_latency: LatencySummary::from_samples(&request_latencies)
             .expect("at least one request"),
-        mean_ttft: ttfts.iter().sum::<f64>() / ttfts.len().max(1) as f64,
+        ttft: report.ttft.expect("at least one request produced a token"),
+        itl: report.itl,
         decode_throughput: decode_tokens as f64 / makespan.max(1e-9),
         makespan,
-        offload_fraction: offload_iterations as f64 / busy_iterations.max(1) as f64,
+        offload_fraction: report.offload_fraction,
         per_token_samples,
     }
 }
@@ -161,9 +136,13 @@ mod tests {
         assert!(result.per_token_latency.p50 <= result.per_token_latency.p99);
         assert!(result.makespan > 0.0);
         assert!(result.decode_throughput > 0.0);
-        assert!(result.mean_ttft > 0.0);
         assert_eq!(result.per_token_samples.len(), 40);
         assert_eq!(result.cdf().len(), 40);
+        // Streaming metrics cover every request.
+        assert_eq!(result.ttft.count, 40);
+        assert!(result.ttft.mean > 0.0 && result.ttft.p50 <= result.ttft.p99);
+        let itl = result.itl.expect("multi-token outputs");
+        assert!(itl.mean > 0.0 && itl.p50 <= itl.p99);
     }
 
     #[test]

@@ -1,0 +1,751 @@
+//! The event-driven serving loop.
+//!
+//! [`Server`] turns the iteration-level [`neo_core::Engine`] into something a client can
+//! sit on top of: requests are *submitted* (individually, at any simulated time — not
+//! replayed from a pre-scanned trace), can be *cancelled* mid-flight (their KV blocks are
+//! freed immediately, even mid-decode), and *stream* their output tokens through a
+//! per-request callback as they are produced.
+//!
+//! Internally the server runs an event queue in simulated time. Three things drive it:
+//!
+//! * **arrival events** — a submitted request becomes visible at its arrival time and
+//!   enters the admission backlog;
+//! * **step-complete** — after every [`neo_core::Engine::step`] the server diffs each
+//!   live request's progress and fires one [`TokenEvent`] per newly generated token;
+//! * **cancel events** — a scheduled cancellation evicts the request wherever it is
+//!   (backlog, waitqueue, or mid-decode).
+//!
+//! Admission applies backpressure instead of dropping: while the engine reports a full
+//! prefill waitqueue ([`neo_core::Engine::can_admit`] is `false`), arrivals wait in the
+//! server's FIFO backlog and are admitted as the queue drains. The backlog depth is also
+//! surfaced to schedulers via `ScheduleContext::admission_backlog`.
+//!
+//! [`crate::run_online`] is a thin wrapper over this loop; real clients (or a future HTTP
+//! front-end) use [`Server::submit`] / [`Server::cancel`] directly.
+
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+use neo_core::request::{Request, RequestState};
+use neo_core::{Engine, IterationReport};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::LatencySummary;
+
+/// One streamed output token, delivered to the submitting client's callback.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TokenEvent {
+    /// Request this token belongs to.
+    pub request_id: u64,
+    /// Zero-based index of the token within the request's output.
+    pub index: usize,
+    /// Simulated time the token was emitted.
+    pub time: f64,
+    /// Whether this is the request's final token.
+    pub is_last: bool,
+}
+
+/// Streaming callback invoked once per emitted token, in emission order.
+pub type TokenCallback = Box<dyn FnMut(&TokenEvent)>;
+
+/// Client-side handle to a submitted request, used to query status and to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestHandle {
+    id: u64,
+}
+
+impl RequestHandle {
+    /// The server-assigned request id (also the `request_id` of its [`TokenEvent`]s).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Lifecycle of a request as observed through its [`RequestHandle`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestStatus {
+    /// Submitted; its arrival time has not been reached yet.
+    Scheduled,
+    /// Arrived, but held in the server backlog by admission backpressure.
+    Backlogged,
+    /// Admitted into the engine (waiting, prefilling, or decoding).
+    Running {
+        /// Output tokens streamed so far.
+        generated: usize,
+    },
+    /// All output tokens produced.
+    Finished {
+        /// Simulated completion time.
+        finish_time: f64,
+    },
+    /// Cancelled before finishing.
+    Cancelled {
+        /// Output tokens streamed before the cancellation.
+        generated: usize,
+    },
+}
+
+/// What the serving loop did, summarised when the queue drains.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerReport {
+    /// Requests that produced their full output.
+    pub completed: usize,
+    /// Requests cancelled before finishing.
+    pub cancelled: usize,
+    /// Simulated time when the loop drained.
+    pub makespan: f64,
+    /// Engine iterations executed (including idle quanta).
+    pub iterations: u64,
+    /// Iterations that executed work.
+    pub busy_iterations: u64,
+    /// Fraction of busy iterations that offloaded attention to the CPU.
+    pub offload_fraction: f64,
+    /// Tokens delivered through streaming callbacks (all requests).
+    pub streamed_tokens: u64,
+    /// Time-to-first-token summary over requests that produced at least one token.
+    pub ttft: Option<LatencySummary>,
+    /// Inter-token latency summary: gaps between consecutive tokens of the same request,
+    /// over requests that produced at least two tokens.
+    pub itl: Option<LatencySummary>,
+    /// High-water mark of the admission backlog (0 means backpressure never engaged).
+    pub max_backlog: usize,
+}
+
+/// Internal event kinds, ordered by time on the event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Arrival(u64),
+    Cancel(u64),
+}
+
+/// A timed event. The `seq` number breaks ties so same-time events are delivered in
+/// submission order.
+#[derive(Debug, Clone, Copy)]
+struct TimedEvent {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for TimedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for TimedEvent {}
+
+impl Ord for TimedEvent {
+    // Reversed so the std max-heap pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TimedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Server-side record of one submitted request.
+struct Session {
+    arrival: f64,
+    prompt_len: usize,
+    output_len: usize,
+    state: SessionState,
+    callback: Option<TokenCallback>,
+    /// Emission time of each streamed token (drives TTFT/ITL metrics).
+    token_times: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SessionState {
+    Scheduled,
+    Backlogged,
+    Running,
+    Finished { finish_time: f64 },
+    Cancelled,
+}
+
+/// The event-driven serving loop over one [`Engine`].
+pub struct Server {
+    engine: Engine,
+    events: BinaryHeap<TimedEvent>,
+    sessions: Vec<Session>,
+    /// Arrived-but-not-admitted request ids, FIFO.
+    backlog: VecDeque<u64>,
+    /// Ids currently admitted into the engine; keeps token dispatch O(running
+    /// requests) per iteration instead of O(everything ever submitted). Ordered, so
+    /// delivery stays deterministic (ascending id = arrival order).
+    running: BTreeSet<u64>,
+    next_seq: u64,
+    max_iterations: u64,
+    iterations: u64,
+    busy_iterations: u64,
+    offload_iterations: u64,
+    streamed_tokens: u64,
+    max_backlog: usize,
+    /// Requests evicted by cancellation (terminal state [`RequestState::Cancelled`]).
+    cancelled: Vec<Request>,
+    /// How much of `engine.completed()` has already been dispatched to callbacks.
+    completed_cursor: usize,
+    last_report: Option<IterationReport>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("engine", &self.engine)
+            .field("now", &self.engine.now())
+            .field("submitted", &self.sessions.len())
+            .field("backlog", &self.backlog.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Wraps an engine in a serving loop. The engine must be fresh (no requests submitted
+    /// directly); all traffic goes through [`Server::submit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine already holds live or completed requests.
+    pub fn new(engine: Engine) -> Self {
+        assert!(
+            engine.is_idle() && engine.completed().is_empty(),
+            "the server needs a fresh engine; submit requests through the server"
+        );
+        Self {
+            engine,
+            events: BinaryHeap::new(),
+            sessions: Vec::new(),
+            backlog: VecDeque::new(),
+            running: BTreeSet::new(),
+            next_seq: 0,
+            max_iterations: u64::MAX,
+            iterations: 0,
+            busy_iterations: 0,
+            offload_iterations: 0,
+            streamed_tokens: 0,
+            max_backlog: 0,
+            cancelled: Vec::new(),
+            completed_cursor: 0,
+            last_report: None,
+        }
+    }
+
+    /// Sets the iteration budget after which the loop panics (livelock guard).
+    pub fn with_max_iterations(mut self, max_iterations: u64) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.engine.now()
+    }
+
+    /// Read-only view of the underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Current depth of the admission backlog.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Highest admission-backlog depth observed so far.
+    pub fn max_backlog(&self) -> usize {
+        self.max_backlog
+    }
+
+    /// Requests evicted by cancellation, in cancellation order.
+    pub fn cancelled(&self) -> &[Request] {
+        &self.cancelled
+    }
+
+    /// The report of the most recent engine iteration, if any ran.
+    pub fn last_iteration(&self) -> Option<IterationReport> {
+        self.last_report
+    }
+
+    /// Submits a request arriving at simulated time `arrival` (clamped to now if it is in
+    /// the past) with no streaming callback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival` is not finite or a length is zero.
+    pub fn submit(&mut self, arrival: f64, prompt_len: usize, output_len: usize) -> RequestHandle {
+        self.submit_streaming(arrival, prompt_len, output_len, None)
+    }
+
+    /// Submits a request with a streaming callback invoked once per output token, in
+    /// emission order. See [`Server::submit`] for the panics.
+    pub fn submit_with_callback<F>(
+        &mut self,
+        arrival: f64,
+        prompt_len: usize,
+        output_len: usize,
+        callback: F,
+    ) -> RequestHandle
+    where
+        F: FnMut(&TokenEvent) + 'static,
+    {
+        self.submit_streaming(arrival, prompt_len, output_len, Some(Box::new(callback)))
+    }
+
+    fn submit_streaming(
+        &mut self,
+        arrival: f64,
+        prompt_len: usize,
+        output_len: usize,
+        callback: Option<TokenCallback>,
+    ) -> RequestHandle {
+        assert!(arrival.is_finite(), "arrival time must be finite");
+        assert!(prompt_len > 0, "prompt length must be positive");
+        assert!(output_len > 0, "output length must be positive");
+        let arrival = arrival.max(self.engine.now());
+        let id = self.sessions.len() as u64;
+        self.sessions.push(Session {
+            arrival,
+            prompt_len,
+            output_len,
+            state: SessionState::Scheduled,
+            callback,
+            token_times: Vec::new(),
+        });
+        self.push_event(arrival, EventKind::Arrival(id));
+        RequestHandle { id }
+    }
+
+    /// Schedules a cancellation of `handle` at simulated time `at` (clamped to now).
+    /// Cancelling a finished or already-cancelled request is a no-op; cancelling before
+    /// the arrival time suppresses the arrival entirely.
+    pub fn cancel(&mut self, handle: RequestHandle, at: f64) {
+        assert!(at.is_finite(), "cancellation time must be finite");
+        self.push_event(at.max(self.engine.now()), EventKind::Cancel(handle.id));
+    }
+
+    /// Cancels `handle` at the current simulated time (takes effect before the next
+    /// iteration runs).
+    pub fn cancel_now(&mut self, handle: RequestHandle) {
+        let now = self.engine.now();
+        self.cancel(handle, now);
+    }
+
+    /// Status of a submitted request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this server.
+    pub fn status(&self, handle: RequestHandle) -> RequestStatus {
+        let session = &self.sessions[handle.id as usize];
+        match session.state {
+            SessionState::Scheduled => RequestStatus::Scheduled,
+            SessionState::Backlogged => RequestStatus::Backlogged,
+            SessionState::Running => {
+                RequestStatus::Running { generated: session.token_times.len() }
+            }
+            SessionState::Finished { finish_time } => RequestStatus::Finished { finish_time },
+            SessionState::Cancelled => {
+                RequestStatus::Cancelled { generated: session.token_times.len() }
+            }
+        }
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(TimedEvent { time, seq, kind });
+    }
+
+    /// Delivers every event due at or before the current simulated time.
+    fn deliver_due_events(&mut self) {
+        let now = self.engine.now();
+        while self.events.peek().map(|e| e.time <= now).unwrap_or(false) {
+            let event = self.events.pop().expect("peeked");
+            match event.kind {
+                EventKind::Arrival(id) => self.deliver_arrival(id),
+                EventKind::Cancel(id) => self.deliver_cancel(id),
+            }
+        }
+    }
+
+    fn deliver_arrival(&mut self, id: u64) {
+        let session = &mut self.sessions[id as usize];
+        if session.state != SessionState::Scheduled {
+            return; // cancelled before arrival
+        }
+        session.state = SessionState::Backlogged;
+        self.backlog.push_back(id);
+        self.max_backlog = self.max_backlog.max(self.backlog.len());
+    }
+
+    fn deliver_cancel(&mut self, id: u64) {
+        let state = self.sessions[id as usize].state;
+        match state {
+            SessionState::Scheduled | SessionState::Backlogged => {
+                self.backlog.retain(|&x| x != id);
+                let session = &mut self.sessions[id as usize];
+                session.state = SessionState::Cancelled;
+                // Build the terminal record the engine would have returned had the
+                // request been admitted.
+                let mut request =
+                    Request::new(id, session.arrival, session.prompt_len, session.output_len);
+                request.state = RequestState::Cancelled;
+                self.cancelled.push(request);
+            }
+            SessionState::Running => {
+                let request = self.engine.evict(id).expect("running session is live");
+                self.running.remove(&id);
+                self.sessions[id as usize].state = SessionState::Cancelled;
+                self.cancelled.push(request);
+            }
+            SessionState::Finished { .. } | SessionState::Cancelled => {}
+        }
+    }
+
+    /// Admits backlogged requests in FIFO order while the engine has admission room.
+    fn admit_from_backlog(&mut self) {
+        while self.engine.can_admit() {
+            let Some(id) = self.backlog.pop_front() else { break };
+            let session = &mut self.sessions[id as usize];
+            session.state = SessionState::Running;
+            self.running.insert(id);
+            self.engine.submit(Request::new(
+                id,
+                session.arrival,
+                session.prompt_len,
+                session.output_len,
+            ));
+        }
+    }
+
+    /// Fires streaming callbacks for every token emitted by the last iteration.
+    fn dispatch_tokens(&mut self) {
+        let now = self.engine.now();
+        // Newly retired requests first: their sessions flip to Finished, and the cursor
+        // keeps this scan O(new completions).
+        let completed = self.engine.completed();
+        let mut due: Vec<(u64, usize, bool, f64)> = completed[self.completed_cursor..]
+            .iter()
+            .map(|r| (r.id, r.generated, true, r.finish_time.unwrap_or(now)))
+            .collect();
+        self.completed_cursor = completed.len();
+        for &(id, ..) in &due {
+            self.running.remove(&id);
+        }
+        // Then every still-running request with new tokens.
+        for &id in &self.running {
+            if let Some(request) = self.engine.request(id) {
+                if request.generated > self.sessions[id as usize].token_times.len() {
+                    due.push((id, request.generated, false, now));
+                }
+            }
+        }
+        // Deterministic delivery order: by id (= submission/arrival order).
+        due.sort_unstable_by_key(|&(id, ..)| id);
+        for (id, generated, finished, finish_time) in due {
+            let session = &mut self.sessions[id as usize];
+            for index in session.token_times.len()..generated {
+                session.token_times.push(now);
+                self.streamed_tokens += 1;
+                let event = TokenEvent {
+                    request_id: id,
+                    index,
+                    time: now,
+                    is_last: finished && index + 1 == generated,
+                };
+                if let Some(callback) = session.callback.as_mut() {
+                    callback(&event);
+                }
+            }
+            if finished {
+                session.state = SessionState::Finished { finish_time };
+            }
+        }
+    }
+
+    /// Advances the loop by one engine iteration, delivering due events, applying
+    /// admission, and streaming freshly emitted tokens. Returns `false` once every
+    /// submitted request has finished (or been cancelled) and no events remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration budget set by [`Server::with_max_iterations`] is exceeded
+    /// (scheduler livelock).
+    pub fn tick(&mut self) -> bool {
+        loop {
+            self.deliver_due_events();
+            self.admit_from_backlog();
+            if !self.engine.is_idle() {
+                break;
+            }
+            // An idle engine always has admission room, so the backlog is empty here.
+            debug_assert!(self.backlog.is_empty());
+            let Some(next) = self.events.peek().copied() else { return false };
+            // Only an arrival of a still-scheduled request can create engine work, so
+            // only that advances the clock. Everything else pending while idle is
+            // inert — a cancel whose target already drained, or an arrival suppressed
+            // by an earlier cancel — and is delivered immediately so it cannot drag
+            // the makespan (and every throughput metric derived from it) out to its
+            // timestamp.
+            let creates_work = matches!(
+                next.kind,
+                EventKind::Arrival(id)
+                    if self.sessions[id as usize].state == SessionState::Scheduled
+            );
+            if creates_work {
+                self.engine.advance_to(next.time.max(self.engine.now()));
+            } else {
+                let event = self.events.pop().expect("peeked");
+                match event.kind {
+                    EventKind::Arrival(id) => self.deliver_arrival(id),
+                    EventKind::Cancel(id) => self.deliver_cancel(id),
+                }
+            }
+        }
+        self.engine.set_admission_backlog(self.backlog.len());
+        let report = self.engine.step();
+        self.iterations += 1;
+        assert!(
+            self.iterations < self.max_iterations,
+            "serving loop exceeded {} iterations with {} of {} requests finished",
+            self.max_iterations,
+            self.engine.completed().len(),
+            self.sessions.len()
+        );
+        if !report.idle {
+            self.busy_iterations += 1;
+            if report.cpu_offloaded > 0 {
+                self.offload_iterations += 1;
+            }
+        }
+        self.last_report = Some(report);
+        self.dispatch_tokens();
+        true
+    }
+
+    /// Runs the loop until it drains, then summarises it.
+    pub fn run_until_idle(&mut self) -> ServerReport {
+        while self.tick() {}
+        self.report()
+    }
+
+    /// Summarises the loop so far (normally read after [`Server::run_until_idle`]).
+    pub fn report(&self) -> ServerReport {
+        let mut ttfts = Vec::new();
+        let mut gaps = Vec::new();
+        for session in &self.sessions {
+            if let Some(&first) = session.token_times.first() {
+                ttfts.push(first - session.arrival);
+            }
+            gaps.extend(session.token_times.windows(2).map(|w| w[1] - w[0]));
+        }
+        ServerReport {
+            completed: self.engine.completed().len(),
+            cancelled: self.cancelled.len(),
+            makespan: self.engine.now(),
+            iterations: self.iterations,
+            busy_iterations: self.busy_iterations,
+            offload_fraction: self.offload_iterations as f64 / self.busy_iterations.max(1) as f64,
+            streamed_tokens: self.streamed_tokens,
+            ttft: LatencySummary::from_samples(&ttfts),
+            itl: LatencySummary::from_samples(&gaps),
+            max_backlog: self.max_backlog,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use neo_baselines::GpuOnlyScheduler;
+    use neo_core::config::EngineConfig;
+    use neo_core::scheduler::NeoScheduler;
+    use neo_sim::{CostModel, ModelDesc, Testbed};
+
+    fn engine() -> Engine {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        Engine::new(cost, EngineConfig::default(), Box::new(NeoScheduler::new()))
+    }
+
+    fn engine_with(config: EngineConfig) -> Engine {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        Engine::new(cost, config, Box::new(GpuOnlyScheduler::vllm_like()))
+    }
+
+    #[test]
+    fn single_request_streams_every_token_once() {
+        let mut server = Server::new(engine());
+        let seen: Rc<RefCell<Vec<TokenEvent>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let handle = server.submit_with_callback(0.0, 200, 24, move |e| {
+            sink.borrow_mut().push(*e);
+        });
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 1);
+        let events = seen.borrow();
+        assert_eq!(events.len(), 24);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.index, i, "tokens arrive exactly once, in order");
+            assert_eq!(e.request_id, handle.id());
+            assert_eq!(e.is_last, i == 23);
+        }
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(matches!(server.status(handle), RequestStatus::Finished { .. }));
+        assert_eq!(report.streamed_tokens, 24);
+    }
+
+    #[test]
+    fn ttft_and_itl_are_positive_and_consistent() {
+        let mut server = Server::new(engine());
+        for i in 0..8 {
+            server.submit(i as f64 * 0.3, 300, 20);
+        }
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 8);
+        let ttft = report.ttft.expect("all requests produced tokens");
+        let itl = report.itl.expect("outputs longer than one token");
+        assert_eq!(ttft.count, 8);
+        assert!(ttft.mean > 0.0);
+        assert_eq!(itl.count, 8 * 19);
+        assert!(itl.mean > 0.0);
+        assert!(itl.p50 <= itl.p99);
+    }
+
+    #[test]
+    fn cancellation_mid_decode_frees_kv_and_stops_streaming() {
+        let mut server = Server::new(engine());
+        let long = server.submit(0.0, 400, 5_000);
+        let short = server.submit(0.0, 400, 30);
+        // Run until the long request has streamed a few tokens.
+        while server.sessions[long.id() as usize].token_times.len() < 3 {
+            assert!(server.tick());
+        }
+        assert_eq!(server.engine().kv().num_sequences(), 2);
+        server.cancel_now(long);
+        assert!(server.tick());
+        assert_eq!(
+            server.engine().kv().num_sequences(),
+            1,
+            "cancelled KV blocks must be freed immediately"
+        );
+        let streamed_at_cancel = match server.status(long) {
+            RequestStatus::Cancelled { generated } => generated,
+            other => panic!("expected cancelled, got {other:?}"),
+        };
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.cancelled, 1);
+        assert_eq!(
+            server.sessions[long.id() as usize].token_times.len(),
+            streamed_at_cancel,
+            "no tokens stream after cancellation"
+        );
+        assert!(server.cancelled()[0].is_cancelled());
+        assert_eq!(server.engine().kv().num_sequences(), 0);
+        assert!(matches!(server.status(short), RequestStatus::Finished { .. }));
+    }
+
+    #[test]
+    fn cancel_before_arrival_suppresses_the_request() {
+        let mut server = Server::new(engine());
+        let a = server.submit(5.0, 100, 10);
+        let b = server.submit(0.0, 100, 10);
+        server.cancel(a, 1.0);
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.cancelled, 1);
+        assert!(matches!(server.status(a), RequestStatus::Cancelled { generated: 0 }));
+        assert!(matches!(server.status(b), RequestStatus::Finished { .. }));
+        // Neither the suppressed arrival at t=5 nor the cancel at t=1 is real work, so
+        // the clock must stop when the last real request drains.
+        assert!(report.makespan < 1.0, "inert events must not inflate makespan");
+        // Double-cancel and cancel-after-finish are no-ops.
+        server.cancel_now(a);
+        server.cancel_now(b);
+        assert!(!server.tick());
+        assert_eq!(server.cancelled().len(), 1);
+    }
+
+    #[test]
+    fn late_noop_cancel_does_not_inflate_makespan() {
+        // A timeout-style cancellation scheduled far in the future must not drag the
+        // makespan out to its timestamp once the request has already finished.
+        let mut server = Server::new(engine());
+        let h = server.submit(0.0, 100, 10);
+        server.cancel(h, 300.0);
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.cancelled, 0);
+        assert!(matches!(server.status(h), RequestStatus::Finished { .. }));
+        assert!(
+            report.makespan < 10.0,
+            "makespan {} must reflect the real work, not the dead cancel event",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn backpressure_delays_but_never_drops() {
+        let config = EngineConfig { max_waiting_requests: 2, ..EngineConfig::default() };
+        let mut server = Server::new(engine_with(config));
+        let handles: Vec<RequestHandle> = (0..24).map(|_| server.submit(0.0, 600, 12)).collect();
+        // Deliver the arrivals: only 2 fit the waitqueue, the rest must queue server-side.
+        assert!(server.tick());
+        assert!(server.max_backlog() >= 20, "backpressure must engage");
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 24, "backpressure delays requests, never drops them");
+        assert_eq!(report.cancelled, 0);
+        assert!(report.max_backlog >= 20);
+        for h in handles {
+            assert!(matches!(server.status(h), RequestStatus::Finished { .. }));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order_even_when_submitted_out_of_order() {
+        let mut server = Server::new(engine());
+        let late = server.submit(2.0, 100, 4);
+        let early = server.submit(0.5, 100, 4);
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 2);
+        let first_late = server.sessions[late.id() as usize].token_times[0];
+        let first_early = server.sessions[early.id() as usize].token_times[0];
+        assert!(first_early < first_late, "the earlier arrival streams first");
+        assert!(report.makespan >= 2.0);
+    }
+
+    #[test]
+    fn idle_server_reports_empty_drain() {
+        let mut server = Server::new(engine());
+        assert!(!server.tick());
+        let report = server.report();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.iterations, 0);
+        assert!(report.ttft.is_none());
+        assert!(report.itl.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh engine")]
+    fn used_engine_is_rejected() {
+        let mut e = engine();
+        e.submit(Request::new(0, 0.0, 10, 2));
+        let _ = Server::new(e);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn iteration_budget_panics_on_livelock() {
+        let mut server = Server::new(engine()).with_max_iterations(3);
+        server.submit(0.0, 5_000, 500);
+        let _ = server.run_until_idle();
+    }
+}

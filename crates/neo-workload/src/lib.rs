@@ -34,4 +34,4 @@ pub mod trace;
 pub use arrivals::ArrivalProcess;
 pub use datasets::{azure_code_like, osc_like, synthetic};
 pub use lengths::LengthDistribution;
-pub use trace::{Trace, TraceRequest, TraceStats};
+pub use trace::{ArrivalEvent, ArrivalEvents, Trace, TraceRequest, TraceStats};

@@ -1,0 +1,145 @@
+//! Integration tests of the event-driven serving loop: streaming order, mid-decode
+//! cancellation (KV occupancy asserted through `neo-kvcache`), and admission
+//! backpressure, across NEO and baseline policies on paper testbeds.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use neo_bench::{Policy, Scenario};
+use neo_core::EngineConfig;
+use neo_kvcache::Device;
+use neo_serve::{run_online, RequestStatus, Server, TokenEvent};
+use neo_workload::{azure_code_like, osc_like, ArrivalProcess};
+
+#[test]
+fn streaming_callbacks_fire_once_per_token_in_arrival_order() {
+    let scenario = Scenario::a10g_8b();
+    let trace = azure_code_like(30, ArrivalProcess::Poisson { rate: 1.0 }, 11);
+    for policy in [Policy::Neo, Policy::VllmLike] {
+        let mut server = Server::new(scenario.engine(policy)).with_max_iterations(20_000_000);
+        let log: Rc<RefCell<Vec<TokenEvent>>> = Rc::new(RefCell::new(Vec::new()));
+        for event in trace.events() {
+            let sink = Rc::clone(&log);
+            server.submit_with_callback(event.time, event.prompt_len, event.output_len, move |t| {
+                sink.borrow_mut().push(*t)
+            });
+        }
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, trace.len());
+
+        let log = log.borrow();
+        let expected_tokens: usize = trace.requests().iter().map(|r| r.output_len).sum();
+        assert_eq!(log.len(), expected_tokens, "{}", policy.label());
+        assert_eq!(report.streamed_tokens as usize, expected_tokens);
+        // Emission times never go backwards, and each request sees its own tokens
+        // exactly once, in index order, ending with is_last.
+        assert!(log.windows(2).all(|w| w[0].time <= w[1].time));
+        for (id, request) in trace.requests().iter().enumerate() {
+            let mine: Vec<&TokenEvent> = log.iter().filter(|t| t.request_id == id as u64).collect();
+            assert_eq!(mine.len(), request.output_len);
+            assert!(mine.iter().enumerate().all(|(i, t)| t.index == i));
+            assert!(mine.last().unwrap().is_last);
+            assert!(mine[..mine.len() - 1].iter().all(|t| !t.is_last));
+        }
+    }
+}
+
+#[test]
+fn cancellation_mid_decode_frees_kv_blocks_on_the_t4() {
+    // The memory-starved T4: cancelled KV must come back to the pools immediately,
+    // otherwise abandoned requests would keep strangling the GPU cache.
+    let scenario = Scenario::t4_7b();
+    let mut server = Server::new(scenario.engine(Policy::Neo)).with_max_iterations(20_000_000);
+    let victims: Vec<_> = (0..8).map(|_| server.submit(0.0, 300, 4_000)).collect();
+    let survivor = server.submit(0.0, 300, 60);
+
+    // Run until every request occupies KV and has streamed at least one token.
+    while server.engine().completed().is_empty()
+        && !victims.iter().all(
+            |&v| matches!(server.status(v), RequestStatus::Running { generated } if generated > 0),
+        )
+    {
+        assert!(server.tick(), "work remains");
+    }
+    let kv = server.engine().kv();
+    assert_eq!(kv.num_sequences(), 9);
+    let free_before = kv.free_tokens(Device::Gpu) + kv.free_tokens(Device::Cpu);
+
+    for &v in &victims {
+        server.cancel_now(v);
+    }
+    assert!(server.tick());
+    let kv = server.engine().kv();
+    assert_eq!(kv.num_sequences(), 1, "all cancelled sequences must be released");
+    assert!(
+        kv.free_tokens(Device::Gpu) + kv.free_tokens(Device::Cpu) > free_before,
+        "cancellation must return KV tokens to the pools"
+    );
+
+    let report = server.run_until_idle();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.cancelled, 8);
+    assert!(matches!(server.status(survivor), RequestStatus::Finished { .. }));
+    assert_eq!(server.engine().kv().num_sequences(), 0);
+}
+
+#[test]
+fn admission_backpressure_delays_but_never_drops_requests() {
+    // A tiny waitqueue forces the server-side backlog to absorb an arrival burst.
+    let scenario = Scenario::a10g_8b();
+    let config = EngineConfig { max_waiting_requests: 3, ..EngineConfig::default() };
+    let trace = osc_like(50, ArrivalProcess::Poisson { rate: 50.0 }, 13);
+    let mut server = Server::new(scenario.engine_with_config(Policy::Neo, config))
+        .with_max_iterations(20_000_000);
+    let handles: Vec<_> =
+        trace.events().map(|e| server.submit(e.time, e.prompt_len, e.output_len)).collect();
+    let report = server.run_until_idle();
+    assert!(report.max_backlog > 0, "the burst must exercise the backlog");
+    assert_eq!(report.completed, trace.len(), "backpressure delays, never drops");
+    assert_eq!(report.cancelled, 0);
+    assert_eq!(server.backlog_len(), 0);
+    for handle in handles {
+        assert!(matches!(server.status(handle), RequestStatus::Finished { .. }));
+    }
+}
+
+#[test]
+fn run_online_matches_a_manual_event_loop_replay() {
+    // The trace-replay wrapper and a hand-driven server must agree exactly: same
+    // completions, same makespan, same latency metrics.
+    let scenario = Scenario::a10g_8b();
+    let trace = azure_code_like(40, ArrivalProcess::Poisson { rate: 1.5 }, 17);
+    let result = run_online(scenario.engine(Policy::Neo), &trace, 1.5, 20_000_000);
+
+    let mut server = Server::new(scenario.engine(Policy::Neo)).with_max_iterations(20_000_000);
+    for event in trace.events() {
+        server.submit(event.time, event.prompt_len, event.output_len);
+    }
+    let report = server.run_until_idle();
+
+    assert_eq!(result.completed, report.completed);
+    assert_eq!(result.makespan, report.makespan);
+    assert_eq!(result.ttft.mean, report.ttft.unwrap().mean);
+    assert_eq!(result.itl.unwrap().p99, report.itl.unwrap().p99);
+    assert_eq!(result.offload_fraction, report.offload_fraction);
+}
+
+#[test]
+fn ttft_and_itl_degrade_gracefully_under_load() {
+    // Sanity: the streaming metrics respond to load the way queueing theory says they
+    // should — higher offered rate, no lower TTFT.
+    let scenario = Scenario::a10g_8b();
+    let run = |rate: f64| {
+        let trace = azure_code_like(40, ArrivalProcess::Poisson { rate }, 19);
+        run_online(scenario.engine(Policy::VllmLike), &trace, rate, 20_000_000)
+    };
+    let low = run(0.3);
+    let high = run(8.0);
+    assert!(
+        high.ttft.mean >= low.ttft.mean * 0.8,
+        "TTFT should not improve under heavy load: low {:.3}s vs high {:.3}s",
+        low.ttft.mean,
+        high.ttft.mean
+    );
+    assert!(low.itl.is_some() && high.itl.is_some());
+}

@@ -16,9 +16,11 @@ use neo_core::scheduler::{NeoScheduler, Scheduler};
 use neo_core::ExecutionMode;
 use neo_kvcache::Device;
 use neo_model::{argmax, Model, PagedKvCache};
-use neo_serve::{run_offline, run_online};
+use neo_serve::{
+    run_offline, run_online, RequestHandle, RequestStatus, Server, ServerReport, TokenEvent,
+};
 use neo_sim::{CostModel, ModelDesc, Testbed};
-use neo_workload::{azure_code_like, osc_like, synthetic, ArrivalProcess};
+use neo_workload::{azure_code_like, osc_like, synthetic, ArrivalEvent, ArrivalProcess, Trace};
 
 /// The imports above are the real assertions; this test exists so the file
 /// reports a green check instead of compiling silently.
