@@ -20,6 +20,17 @@
 //! jitter skews a handful of quick-mode samples far more than it shifts their middle.
 //! Improvements never fail. Missing or extra benchmark ids fail the check too — they
 //! mean the baselines are stale.
+//!
+//! Reports carry `threads` (the rayon pool width at measurement time) and
+//! `sample_size` metadata. A check against a baseline recorded at a different thread
+//! count fails outright — parallel kernels scale with the pool, so such medians are
+//! incommensurable. To keep that impossible to trip by accident, the spawned bench
+//! processes always run with `RAYON_NUM_THREADS` pinned to `--threads` (default 1, the
+//! width the committed baselines are recorded at), regardless of the ambient machine
+//! or environment; pass `--threads <n>` to both `--write-baseline` and
+//! `--check-baseline` to work at another width. Differing sample counts (judged from
+//! the per-benchmark `samples` actually taken — bench groups may override the
+//! quick-mode setting) only print a note.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -32,10 +43,22 @@ const BENCHES: [&str; 4] = ["kernels", "kvcache", "pipeline", "scheduler"];
 /// Quick-mode sample count used when `--samples` is not given.
 const DEFAULT_SAMPLES: usize = 10;
 
+/// Pool width the benches run at when `--threads` is not given — the width the
+/// committed `BENCH_*.json` baselines are recorded at, so a refresh on a many-core
+/// workstation cannot silently produce baselines CI's pinned runs would reject.
+const DEFAULT_THREADS: usize = 1;
+
 /// Mirror of the JSON report the criterion shim writes (see `shims/README.md`).
+///
+/// `threads` is the rayon pool width the numbers were measured at and
+/// `sample_size` the effective `CRITERION_SAMPLE_SIZE`; medians measured at a
+/// different parallelism are not comparable, so the check refuses mismatched
+/// thread counts instead of reporting bogus regressions/improvements.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
     bench: String,
+    threads: usize,
+    sample_size: usize,
     benchmarks: Vec<BenchEstimate>,
 }
 
@@ -59,12 +82,14 @@ enum Mode {
 struct Args {
     mode: Mode,
     samples: usize,
+    threads: usize,
     run_benches: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut mode = None;
     let mut samples = DEFAULT_SAMPLES;
+    let mut threads = DEFAULT_THREADS;
     let mut run_benches = true;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -89,12 +114,20 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("invalid sample count: {e}"))?
                     .max(1);
             }
+            "--threads" => {
+                threads = argv
+                    .next()
+                    .ok_or("--threads needs a pool width")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("invalid thread count: {e}"))?
+                    .max(1);
+            }
             "--no-run" => run_benches = false,
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     let mode = mode.ok_or("pass --write-baseline or --check-baseline <tolerance>")?;
-    Ok(Args { mode, samples, run_benches })
+    Ok(Args { mode, samples, threads, run_benches })
 }
 
 /// Repository root: two levels above this crate's manifest.
@@ -116,14 +149,17 @@ fn load_report(path: &Path) -> Result<BenchReport, String> {
     serde_json::from_str(&body).map_err(|e| format!("could not parse {}: {e}", path.display()))
 }
 
-/// Runs one bench target with JSON emission into `json_dir`.
-fn run_bench(bench: &str, json_dir: &Path, samples: usize) -> Result<(), String> {
+/// Runs one bench target with JSON emission into `json_dir`, the pool width pinned to
+/// `threads` (the spawned process resolves `RAYON_NUM_THREADS` fresh, so the ambient
+/// machine or environment cannot leak into the recorded metadata).
+fn run_bench(bench: &str, json_dir: &Path, samples: usize, threads: usize) -> Result<(), String> {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
-    println!("== running bench target `{bench}` ({samples} samples) ==");
+    println!("== running bench target `{bench}` ({samples} samples, {threads} thread(s)) ==");
     let status = Command::new(cargo)
         .args(["bench", "-p", "neo-bench", "--bench", bench])
         .env("CRITERION_JSON_DIR", json_dir)
         .env("CRITERION_SAMPLE_SIZE", samples.to_string())
+        .env("RAYON_NUM_THREADS", threads.to_string())
         .status()
         .map_err(|e| format!("could not spawn cargo bench: {e}"))?;
     if !status.success() {
@@ -148,6 +184,33 @@ fn compare(
 ) -> (Vec<Comparison>, Vec<String>) {
     let mut rows = Vec::new();
     let mut problems = Vec::new();
+    if baseline.threads != current.threads {
+        problems.push(format!(
+            "thread count mismatch: baseline recorded at {} thread(s) but this run used {} \
+             — medians are not comparable across pool widths; re-run with RAYON_NUM_THREADS={} \
+             or re-record with --write-baseline",
+            baseline.threads, current.threads, baseline.threads
+        ));
+        return (rows, problems);
+    }
+    // The top-level `sample_size` records the quick-mode *setting*; bench groups may
+    // override it per benchmark, so the comparability note is driven by the per-estimate
+    // `samples` fields, which record what each measurement actually took.
+    let differing: Vec<&str> = baseline
+        .benchmarks
+        .iter()
+        .filter(|base| {
+            current.benchmarks.iter().any(|cur| cur.id == base.id && cur.samples != base.samples)
+        })
+        .map(|base| base.id.as_str())
+        .collect();
+    if let Some(first) = differing.first() {
+        println!(
+            "note: {} benchmark(s) took a different sample count than their baseline \
+             (e.g. `{first}`) — medians are noisier but still compared",
+            differing.len()
+        );
+    }
     for base in &baseline.benchmarks {
         match current.benchmarks.iter().find(|c| c.id == base.id) {
             Some(cur) => rows.push(Comparison {
@@ -227,7 +290,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: bench_baseline (--write-baseline | --check-baseline <tolerance>) \
-                 [--samples <n>] [--no-run]"
+                 [--samples <n>] [--threads <n>] [--no-run]"
             );
             return ExitCode::FAILURE;
         }
@@ -236,7 +299,7 @@ fn main() -> ExitCode {
     let json_dir = root.join("target").join("criterion-json");
     if args.run_benches {
         for bench in BENCHES {
-            if let Err(e) = run_bench(bench, &json_dir, args.samples) {
+            if let Err(e) = run_bench(bench, &json_dir, args.samples, args.threads) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

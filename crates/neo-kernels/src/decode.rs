@@ -3,11 +3,20 @@
 //! This is the Rust equivalent of the paper's PACPU kernel (§4): for every offloaded
 //! request, one new query token attends over the request's entire cached context, which is
 //! read block-by-block from the paged CPU cache. The context of each request is split into
-//! block-aligned *partitions*; partitions are processed independently (and in parallel
-//! across a rayon pool — the paper dispatches them across ISPC threads), each producing an
-//! online-softmax partial, and the partials are merged per request. Memory access inside a
-//! partition is contiguous at block granularity, mirroring the paper's "unique and
-//! continuous memory at block granularity" strategy.
+//! block-aligned *partitions*; partitions are processed independently and in parallel
+//! across the rayon pool's worker threads — the role the paper's ISPC "core groups" play —
+//! each producing an online-softmax partial, and the partials are merged per request.
+//! Memory access inside a partition is contiguous at block granularity, mirroring the
+//! paper's "unique and continuous memory at block granularity" strategy.
+//!
+//! [`paged_decode_attention`] sizes partitions automatically from
+//! [`rayon::current_num_threads`] via [`auto_partition_blocks`]: enough partitions that
+//! every worker gets several steal-units (so unequal context lengths still balance), but
+//! no more, because each extra partition costs one extra online-softmax merge per head.
+//! With a single worker the whole batch collapses to one partition per sequence — the
+//! partitioning overhead disappears from the measurement instead of being mistaken for
+//! kernel cost. [`paged_decode_attention_with_partitions`] keeps the explicit knob for
+//! benchmarks that study the trade-off.
 
 use neo_kvcache::{BlockTable, PagedStorage};
 use rayon::prelude::*;
@@ -15,8 +24,31 @@ use rayon::prelude::*;
 use crate::softmax::OnlineSoftmax;
 use crate::AttentionConfig;
 
-/// Default number of KV blocks per partition (a partition is the unit of parallelism).
+/// Default number of KV blocks per partition (a partition is the unit of parallelism)
+/// when a caller wants a fixed, pool-independent partitioning.
 pub const DEFAULT_PARTITION_BLOCKS: usize = 4;
+
+/// Steal-units targeted per pool worker by [`auto_partition_blocks`]. More than one unit
+/// per worker lets the pool's atomic claim index rebalance unequal partition costs; the
+/// value matches the pool's own unit granularity (see the rayon shim).
+const PARTITIONS_PER_THREAD: usize = 4;
+
+/// Picks a partition size (in KV blocks) for one sequence at the current pool width.
+///
+/// Aims for roughly four partitions per [`rayon::current_num_threads`] worker over the
+/// sequence's own block count. On a single-threaded pool this returns the sequence's
+/// whole block count — one partition, no merge overhead. Deliberately a function of the
+/// sequence alone (never of the batch it happens to share a step with): a request's
+/// partition grouping — and hence its floating-point output — must not change with
+/// concurrent load, only with the explicit pool width.
+pub fn auto_partition_blocks(seq_len: usize, block_size: usize) -> usize {
+    let blocks = seq_len.div_ceil(block_size.max(1)).max(1);
+    let threads = rayon::current_num_threads();
+    if threads <= 1 {
+        return blocks;
+    }
+    blocks.div_ceil(threads * PARTITIONS_PER_THREAD)
+}
 
 /// One unit of work: a contiguous range of blocks of one sequence.
 #[derive(Debug, Clone, Copy)]
@@ -28,12 +60,17 @@ struct Task {
     token_end: usize,
 }
 
-/// Splits every sequence's context into block-aligned partitions of at most
-/// `partition_blocks` blocks.
-fn build_tasks(seq_lens: &[usize], block_size: usize, partition_blocks: usize) -> Vec<Task> {
-    let chunk = block_size * partition_blocks.max(1);
+/// Splits every sequence's context into block-aligned partitions, `partition_blocks(len)`
+/// blocks each (evaluated per sequence, so sizing policies can depend on the sequence
+/// alone).
+fn build_tasks(
+    seq_lens: &[usize],
+    block_size: usize,
+    partition_blocks: impl Fn(usize) -> usize,
+) -> Vec<Task> {
     let mut tasks = Vec::new();
     for (seq, &len) in seq_lens.iter().enumerate() {
+        let chunk = block_size * partition_blocks(len).max(1);
         let mut start = 0;
         while start < len {
             let end = (start + chunk).min(len);
@@ -84,7 +121,12 @@ fn run_task(
 /// * `tables` / `seq_lens` — per-sequence block table and cached length (in tokens).
 /// * `out` — `[n_seqs, n_heads, head_dim]`.
 ///
-/// Sequences with length zero produce zero output.
+/// The partition size is tuned to the pool width via [`auto_partition_blocks`]. Partials
+/// merge deterministically in context order, but the partition *size* changes the
+/// grouping of the online-softmax reductions, so outputs are equal across pool widths
+/// only to floating-point tolerance — callers needing bit-stable outputs across widths
+/// must pin the size via [`paged_decode_attention_with_partitions`]. Sequences with
+/// length zero produce zero output.
 ///
 /// # Panics
 ///
@@ -98,15 +140,10 @@ pub fn paged_decode_attention(
     cfg: &AttentionConfig,
     out: &mut [f32],
 ) {
-    paged_decode_attention_with_partitions(
-        queries,
-        storage,
-        tables,
-        seq_lens,
-        cfg,
-        DEFAULT_PARTITION_BLOCKS,
-        out,
-    );
+    let block_size = storage.block_size();
+    run_with_partition_policy(queries, storage, tables, seq_lens, cfg, out, |len| {
+        auto_partition_blocks(len, block_size)
+    });
 }
 
 /// Like [`paged_decode_attention`] but with an explicit partition size (in blocks), used
@@ -123,6 +160,20 @@ pub fn paged_decode_attention_with_partitions(
     cfg: &AttentionConfig,
     partition_blocks: usize,
     out: &mut [f32],
+) {
+    run_with_partition_policy(queries, storage, tables, seq_lens, cfg, out, |_| partition_blocks);
+}
+
+/// Shared checked body of the two public entry points: partitions each sequence with
+/// `partition_blocks(len)`, runs the tasks across the pool, and merges the partials.
+fn run_with_partition_policy(
+    queries: &[f32],
+    storage: &PagedStorage,
+    tables: &[&BlockTable],
+    seq_lens: &[usize],
+    cfg: &AttentionConfig,
+    out: &mut [f32],
+    partition_blocks: impl Fn(usize) -> usize,
 ) {
     let n_seqs = seq_lens.len();
     assert_eq!(tables.len(), n_seqs, "one block table per sequence");
@@ -353,6 +404,21 @@ mod tests {
         for (a, b) in out1.iter().zip(&out8) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn auto_partition_tracks_pool_width() {
+        // One sequence of 256 tokens over 4-token blocks = 64 blocks.
+        let width = |n: usize| rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+        // One worker: a single partition spanning the sequence.
+        assert_eq!(width(1).install(|| auto_partition_blocks(256, 4)), 64);
+        // Four workers x four units each: 64 / 16 = 4 blocks per partition.
+        assert_eq!(width(4).install(|| auto_partition_blocks(256, 4)), 4);
+        // More units than blocks: clamps at one block per partition.
+        assert_eq!(width(64).install(|| auto_partition_blocks(256, 4)), 1);
+        // Empty sequences still return a positive size, and the sizing depends only on
+        // the sequence itself — never on what else is in the batch.
+        assert_eq!(width(4).install(|| auto_partition_blocks(0, 4)), 1);
     }
 
     #[test]

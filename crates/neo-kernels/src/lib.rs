@@ -6,10 +6,12 @@
 //! paper). This crate is the Rust equivalent:
 //!
 //! * [`decode`] — paged, grouped-query decode attention. Each request's cached context is
-//!   split into block-aligned partitions; partitions are processed in parallel (rayon) with
-//!   an online-softmax accumulator and then merged, exactly like Flash Decoding.
+//!   split into block-aligned partitions; partitions are processed in parallel across the
+//!   thread pool with an online-softmax accumulator and then merged, exactly like Flash
+//!   Decoding.
 //! * [`prefill`] — causal (chunked) prefill attention over the paged cache, used by the
-//!   functional model for the GPU-side sub-batch.
+//!   functional model for the GPU-side sub-batch; parallel across (query row × KV-head
+//!   group) tasks.
 //! * [`softmax`] — numerically stable softmax and the online-softmax merge primitive.
 //! * [`rope`] — rotary position embeddings applied to Q/K before caching.
 //! * [`mod@reference`] — slow, obviously-correct dense attention used by the test suite to
@@ -18,6 +20,29 @@
 //! The kernels operate on `f32` slices laid out `[token, head, head_dim]` and read the KV
 //! cache through [`neo_kvcache::PagedStorage`] + [`neo_kvcache::BlockTable`], i.e. the same
 //! data structures the serving engine maintains.
+//!
+//! # Core groups ↔ the thread pool
+//!
+//! The paper's PACPU kernel dispatches each request's partitions across ISPC *core
+//! groups* — fixed teams of CPU cores that each own a slice of the context. This crate
+//! maps that role onto the rayon pool: a partition is one steal-unit, workers claim units
+//! off a shared atomic index, and `RAYON_NUM_THREADS` (default: the machine's available
+//! parallelism) plays the part of the core-group count. The mapping is *dynamic* where
+//! the paper's is static — a worker that finishes its partition early steals the next
+//! one — which is what lets batches with wildly unequal context lengths stay balanced.
+//!
+//! [`decode::auto_partition_blocks`] ties the partition size to the pool width: it
+//! targets a few partitions per worker over each sequence's own block count (never the
+//! batch's — a request's partition grouping, and hence its floating-point output, must
+//! not depend on concurrent load), so doubling the threads roughly halves the partition
+//! size until the one-block floor. The
+//! [`AttentionConfig`] geometry sets what a partition costs — every partition computes
+//! all `n_heads` query heads over its token range (head-level work never splits across
+//! partitions in decode), so wider-headed models have coarser, fewer-needed partitions,
+//! while prefill splits along `n_kv_heads` instead. On a one-thread pool the tuner
+//! collapses to one partition per sequence and the kernels run inline with no spawn or
+//! merge overhead; the `threads_scaling` bench in `neo-bench` measures the actual
+//! multi-core speedup curve at widths 1/2/4/8.
 //!
 //! # Example
 //!

@@ -5,6 +5,14 @@
 //! plus the new ones, whose K/V entries have already been written into the paged cache by
 //! the model). In NEO this always runs on the GPU sub-batch; in the functional model it is
 //! the kernel that produces the prefill attention output.
+//!
+//! Parallelism is per (query row × KV-head group): the output is cut into
+//! `n_new * n_kv_heads` independent chunks, each covering the query heads that share one
+//! KV head, and the chunks are distributed across the rayon pool. Splitting by KV group
+//! rather than whole rows keeps K/V rows read once per chunk *and* exposes enough units
+//! to fill the pool even for short chunked-prefill runs (a one-token chunk still fans out
+//! across `n_kv_heads` workers). Chunk results do not depend on how the pool schedules
+//! them — each output chunk is written by exactly one task.
 
 use neo_kvcache::{BlockTable, PagedStorage};
 use rayon::prelude::*;
@@ -49,28 +57,30 @@ pub fn paged_prefill_attention(
     let group = cfg.group_size();
     let first_pos = ctx_len - n_new;
 
-    // Parallelise over query tokens: each output row only depends on its own causal prefix.
-    out.par_chunks_mut(cfg.q_stride()).enumerate().for_each(|(qi, out_row)| {
+    // Parallelise over (query row × KV-head group): each output chunk covers the `group`
+    // query heads sharing one KV head of one row, and depends only on that row's causal
+    // prefix — chunks are fully independent.
+    out.par_chunks_mut(group * hd).enumerate().for_each(|(c, out_chunk)| {
+        let (qi, kv_h) = (c / cfg.n_kv_heads, c % cfg.n_kv_heads);
         let visible = first_pos + qi + 1;
         let q_row = &q[qi * cfg.q_stride()..(qi + 1) * cfg.q_stride()];
-        let mut accs: Vec<OnlineSoftmax> =
-            (0..cfg.n_heads).map(|_| OnlineSoftmax::new(hd)).collect();
+        let mut accs: Vec<OnlineSoftmax> = (0..group).map(|_| OnlineSoftmax::new(hd)).collect();
         for tok in 0..visible {
             let (block, slot) = table.locate(tok).expect("context within block table");
             let k_row = storage.read_k(block, slot).expect("block table points into storage");
             let v_row = storage.read_v(block, slot).expect("block table points into storage");
-            for h in 0..cfg.n_heads {
-                let kv_h = h / group;
+            let k_vec = &k_row[kv_h * hd..(kv_h + 1) * hd];
+            let v_vec = &v_row[kv_h * hd..(kv_h + 1) * hd];
+            for (g, acc) in accs.iter_mut().enumerate() {
+                let h = kv_h * group + g;
                 let q_vec = &q_row[h * hd..(h + 1) * hd];
-                let k_vec = &k_row[kv_h * hd..(kv_h + 1) * hd];
-                let v_vec = &v_row[kv_h * hd..(kv_h + 1) * hd];
                 let score: f32 =
                     q_vec.iter().zip(k_vec).map(|(a, b)| a * b).sum::<f32>() * cfg.scale;
-                accs[h].push(score, v_vec);
+                acc.push(score, v_vec);
             }
         }
-        for (h, acc) in accs.iter().enumerate() {
-            acc.finish(&mut out_row[h * hd..(h + 1) * hd]);
+        for (g, acc) in accs.iter().enumerate() {
+            acc.finish(&mut out_chunk[g * hd..(g + 1) * hd]);
         }
     });
 }

@@ -2,8 +2,38 @@
 //!
 //! Only what a LLaMa block needs: a row-major dense matrix–vector/matrix product
 //! (the "linear stage" of the paper), RMSNorm, and the SiLU activation used by SwiGLU.
+//!
+//! Matrix–vector products parallelise across output-row chunks sized from the rayon
+//! pool width ([`rayon::current_num_threads`]); batched products pick between
+//! batch-level parallelism (many inputs: one steal-unit per input row, serial matvec
+//! inside) and matvec-level parallelism (few inputs: sequential over rows, each matvec
+//! fanned out), so a single decode-step matvec and a wide prefill batch both fill the
+//! pool without nesting parallel regions. Products below a minimum multiply-add count
+//! stay serial outright — small models' per-token projections must never pay a thread
+//! spawn. Every path computes each row's dot product in the same order, so results are
+//! bit-identical regardless of pool width or which branch ran.
 
 use rayon::prelude::*;
+
+/// Minimum output rows per parallel matvec chunk; below this the dot products are too
+/// cheap to amortize a steal-unit claim (let alone a spawn).
+const MIN_ROWS_PER_CHUNK: usize = 16;
+
+/// Minimum multiply-adds before a product fans out at all. Spawning scoped workers
+/// costs tens of microseconds; at roughly one multiply-add per nanosecond serially,
+/// anything under ~64k elements finishes serially before the spawn would pay off —
+/// and `forward` sits on the per-token hot path of every layer, where paying a spawn
+/// per tiny projection would make the "parallel" path slower than the old sequential
+/// shim.
+const MIN_PARALLEL_ELEMS: usize = 64 * 1024;
+
+/// Steal-units targeted per pool worker, matching the pool's own unit granularity.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Output-row chunk size for a parallel matvec over `rows` output rows.
+fn matvec_chunk_rows(rows: usize) -> usize {
+    rows.div_ceil(rayon::current_num_threads() * CHUNKS_PER_THREAD).max(MIN_ROWS_PER_CHUNK)
+}
 
 /// A dense, row-major weight matrix computing `y = W x` (`W` is `[rows, cols]`).
 #[derive(Debug, Clone, PartialEq)]
@@ -47,7 +77,9 @@ impl Linear {
         y
     }
 
-    /// Computes `y = W x` into a caller-provided buffer.
+    /// Computes `y = W x` into a caller-provided buffer, fanning the output rows out
+    /// across the rayon pool in pool-width-sized row chunks (the result is
+    /// bit-identical to the serial loop: each row's dot product is unchanged).
     ///
     /// # Panics
     ///
@@ -55,14 +87,31 @@ impl Linear {
     pub fn forward_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "input vector has wrong length");
         assert_eq!(y.len(), self.rows, "output vector has wrong length");
-        for (r, out) in y.iter_mut().enumerate() {
+        if self.rows * self.cols < MIN_PARALLEL_ELEMS {
+            return self.forward_rows_serial(x, 0, y);
+        }
+        let chunk_rows = matvec_chunk_rows(self.rows);
+        y.par_chunks_mut(chunk_rows).enumerate().for_each(|(c, out_chunk)| {
+            self.forward_rows_serial(x, c * chunk_rows, out_chunk);
+        });
+    }
+
+    /// Serial dot products for output rows `[first_row, first_row + y.len())`.
+    fn forward_rows_serial(&self, x: &[f32], first_row: usize, y: &mut [f32]) {
+        for (dr, out) in y.iter_mut().enumerate() {
+            let r = first_row + dr;
             let row = &self.weight[r * self.cols..(r + 1) * self.cols];
             *out = row.iter().zip(x).map(|(w, v)| w * v).sum();
         }
     }
 
     /// Computes `Y = X Wᵀ` for a batch of `n` row vectors laid out `[n, cols]`, returning
-    /// `[n, rows]`. Rows are processed in parallel.
+    /// `[n, rows]`.
+    ///
+    /// With at least one input row per pool worker, parallelism is batch-level (one
+    /// steal-unit per input, serial matvec inside); with fewer inputs than workers each
+    /// matvec is fanned out over its output rows instead, so small decode batches still
+    /// use the whole pool. Both paths produce bit-identical results.
     ///
     /// # Panics
     ///
@@ -71,9 +120,19 @@ impl Linear {
         assert!(x.len() % self.cols == 0, "batch buffer must contain whole rows");
         let n = x.len() / self.cols;
         let mut y = vec![0.0f32; n * self.rows];
-        y.par_chunks_mut(self.rows).zip(x.par_chunks(self.cols)).for_each(|(out, row)| {
-            self.forward_into(row, out);
-        });
+        if n * self.rows * self.cols < MIN_PARALLEL_ELEMS {
+            for (out, row) in y.chunks_mut(self.rows).zip(x.chunks(self.cols)) {
+                self.forward_rows_serial(row, 0, out);
+            }
+        } else if n >= rayon::current_num_threads() {
+            y.par_chunks_mut(self.rows).zip(x.par_chunks(self.cols)).for_each(|(out, row)| {
+                self.forward_rows_serial(row, 0, out);
+            });
+        } else {
+            for (out, row) in y.chunks_mut(self.rows).zip(x.chunks(self.cols)) {
+                self.forward_into(row, out);
+            }
+        }
         y
     }
 }
@@ -206,6 +265,30 @@ mod tests {
         let mut a = vec![1.0, 2.0];
         add_inplace(&mut a, &[0.5, -2.0]);
         assert_eq!(a, vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn matvec_is_bit_identical_across_pool_widths() {
+        // 67 x 33 exercises partial chunks; pseudo-random but deterministic weights.
+        let weight: Vec<f32> =
+            (0u64..67 * 33).map(|i| ((i * 2_654_435_761) % 1000) as f32 * 1e-3).collect();
+        let w = Linear::new(67, 33, weight);
+        let x: Vec<f32> = (0..33).map(|i| (i as f32 * 0.37).sin()).collect();
+        let batch: Vec<f32> = x.iter().chain(x.iter()).copied().collect();
+        let at = |n: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+                .install(|| (w.forward(&x), w.forward_batch(&batch)))
+        };
+        let (y1, b1) = at(1);
+        for width in [2, 8] {
+            let (y, b) = at(width);
+            // Bit-identical: chunking never reorders a row's dot product.
+            assert!(y1.iter().zip(&y).all(|(a, c)| a.to_bits() == c.to_bits()));
+            assert!(b1.iter().zip(&b).all(|(a, c)| a.to_bits() == c.to_bits()));
+        }
     }
 
     #[test]

@@ -16,8 +16,12 @@
 //! * `CRITERION_JSON_DIR` — when set, every completed benchmark rewrites
 //!   `<dir>/<bench>.json` (bench = executable name minus cargo's trailing
 //!   `-<hash>`) with machine-readable per-benchmark estimates:
-//!   `{"bench": ..., "benchmarks": [{"id", "mean_ns", "median_ns",
-//!   "best_ns", "samples"}]}`.
+//!   `{"bench": ..., "threads": ..., "sample_size": ..., "benchmarks":
+//!   [{"id", "mean_ns", "median_ns", "best_ns", "samples"}]}`. The
+//!   `threads` field records [`rayon::current_num_threads`] at emission
+//!   time and `sample_size` the effective `CRITERION_SAMPLE_SIZE`, so
+//!   baseline checkers can refuse to compare runs whose parallelism or
+//!   sampling differ.
 
 use std::time::{Duration, Instant};
 
@@ -29,14 +33,19 @@ pub struct Criterion {
     sample_size: usize,
 }
 
+/// The effective default sample count: `CRITERION_SAMPLE_SIZE` if set to a
+/// positive integer, else 30. Also recorded in the JSON report metadata.
+fn default_sample_size() -> usize {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(30)
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(30);
-        Self { sample_size }
+        Self { sample_size: default_sample_size() }
     }
 }
 
@@ -322,9 +331,27 @@ mod json {
     }
 
     pub(super) fn render(bench: &str, estimates: &[Estimate]) -> String {
+        render_with_meta(
+            bench,
+            rayon::current_num_threads(),
+            super::default_sample_size(),
+            estimates,
+        )
+    }
+
+    pub(super) fn render_with_meta(
+        bench: &str,
+        threads: usize,
+        sample_size: usize,
+        estimates: &[Estimate],
+    ) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench)));
+        // Runs are only comparable at matching parallelism and sampling; the
+        // baseline checker gates on these.
+        out.push_str(&format!("  \"threads\": {threads},\n"));
+        out.push_str(&format!("  \"sample_size\": {sample_size},\n"));
         out.push_str("  \"benchmarks\": [\n");
         for (i, e) in estimates.iter().enumerate() {
             let comma = if i + 1 == estimates.len() { "" } else { "," };
@@ -408,14 +435,23 @@ mod tests {
                 samples: 10,
             },
         ];
-        let body = json::render("kernels", &estimates);
+        let body = json::render_with_meta("kernels", 4, 10, &estimates);
         assert!(body.starts_with("{\n  \"bench\": \"kernels\",\n"));
+        assert!(body.contains("\"threads\": 4,\n"));
+        assert!(body.contains("\"sample_size\": 10,\n"));
         assert!(body.contains("\"id\": \"group/case/16\", \"mean_ns\": 1234.5"));
         assert!(body.contains("\\\"quote\\\""));
         assert!(body.contains("\"samples\": 30"));
         assert!(body.trim_end().ends_with('}'));
         // Exactly one trailing comma between the two entries.
         assert_eq!(body.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn render_records_the_ambient_thread_count() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let body = pool.install(|| json::render("kernels", &[]));
+        assert!(body.contains("\"threads\": 3,\n"), "got: {body}");
     }
 
     #[test]

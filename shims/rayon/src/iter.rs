@@ -1,0 +1,721 @@
+//! Parallel-iterator types and adaptors over the scoped-thread pool.
+//!
+//! The design is a safe-Rust replacement for rayon's producer/consumer
+//! machinery. Every chain bottoms out in a [`ParallelSource`]: a contiguous,
+//! index-addressable collection that can split itself *by value* into ordered
+//! pieces (`&[T]` / `&mut [T]` slices split with `split_at(_mut)`, `Vec` with
+//! `split_off`, ranges arithmetically). Driving a chain splits the source into
+//! fixed-size units of items, parks each piece in a `Mutex<Option<_>>` slot,
+//! and lets pool workers claim slots off the atomic steal index
+//! (`pool::run_units`); the claiming worker takes the piece and runs
+//! the whole adaptor chain (a stack of [`Sink`]s ending in the terminal
+//! `for_each`/`collect`) over its items. Each slot is locked exactly once, so
+//! the mutexes are uncontended — they exist only to hand `Send` items (and
+//! `&mut` sub-slices) to whichever thread wins the claim without `unsafe`.
+//!
+//! Order is tracked positionally: unit `k` always covers global item indices
+//! `[k * unit_len, ...)`, which is what makes `enumerate` indices exact and
+//! `collect` order-preserving no matter which worker ran which unit.
+//!
+//! Deliberate divergences from real rayon (documented in `shims/README.md`):
+//! `zip` requires both operands to be *base sources* (slices/chunks/ranges,
+//! not adaptor outputs), and there is no `join`/`split` recursion — the unit
+//! grid is fixed up front at `UNITS_PER_THREAD` units per worker.
+
+use crate::pool;
+use std::sync::Mutex;
+
+/// Below this many items a parallel call runs inline on the caller: spawning
+/// scoped workers costs tens of microseconds, which only repays itself when
+/// there are at least two units to overlap.
+const SEQUENTIAL_CUTOFF: usize = 2;
+
+/// Steal-units carved per worker thread. More units than workers lets the
+/// atomic claim index rebalance unequal unit costs (the last worker to finish
+/// steals what the slow ones have not claimed).
+const UNITS_PER_THREAD: usize = 4;
+
+/// A contiguous collection that can split itself into ordered pieces, each a
+/// sequential iterator over a sub-range of items. The base of every chain.
+pub trait ParallelSource: Sized {
+    /// The item handed to adaptors and terminals.
+    type Item: Send;
+    /// Sequential iterator over one piece's items.
+    type Piece: Iterator<Item = Self::Item> + Send;
+    /// Total number of items.
+    fn total_len(&self) -> usize;
+    /// Splits into contiguous pieces of exactly `unit_len` items (the last
+    /// piece may be shorter), in order. `unit_len` must be positive.
+    fn split(self, unit_len: usize) -> Vec<Self::Piece>;
+}
+
+/// Consumer side of a drive: receives each piece's items tagged with the
+/// piece's global start index. Implementations are shared by reference across
+/// workers, hence `Sync`.
+pub trait Sink<T>: Sync {
+    /// Consumes one piece whose first item has global index `start`.
+    fn consume(&self, start: usize, items: impl Iterator<Item = T>);
+}
+
+/// Forwarding impl so terminals can drive into a borrowed sink and read the
+/// accumulated state back out afterwards (used by `collect`).
+impl<T, S: Sink<T>> Sink<T> for &S {
+    fn consume(&self, start: usize, items: impl Iterator<Item = T>) {
+        (**self).consume(start, items);
+    }
+}
+
+/// Splits `source` into steal-units and feeds them to `sink`, in parallel
+/// when the pool width and item count justify spawning.
+fn drive_source<S: ParallelSource>(source: S, sink: impl Sink<S::Item>) {
+    let len = source.total_len();
+    let threads = pool::current_num_threads();
+    if threads < 2 || len < SEQUENTIAL_CUTOFF {
+        for piece in source.split(len.max(1)) {
+            sink.consume(0, piece);
+        }
+        return;
+    }
+    let unit_len = len.div_ceil(threads * UNITS_PER_THREAD).max(1);
+    let slots: Vec<Slot<S::Piece>> =
+        source.split(unit_len).into_iter().map(|p| Mutex::new(Some(p))).collect();
+    pool::run_units(slots.len(), &|k| {
+        let piece = take_slot(&slots[k]);
+        sink.consume(k * unit_len, piece);
+    });
+}
+
+/// A claim slot parking one steal-unit's piece until a worker takes it.
+type Slot<P> = Mutex<Option<P>>;
+
+/// Claims the piece parked in slot `k`; each slot is taken exactly once.
+fn take_slot<P>(slot: &Slot<P>) -> P {
+    slot.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+        .expect("every steal-unit is claimed by exactly one worker")
+}
+
+/// A parallel iterator: a chain of adaptors over a [`ParallelSource`],
+/// consumed by `for_each` or an order-preserving `collect`.
+pub trait ParallelIterator: Sized {
+    /// Item produced by this stage of the chain.
+    type Item: Send;
+
+    /// Total number of items the chain will produce.
+    fn total_len(&self) -> usize;
+
+    /// Runs the chain, feeding every produced item into `sink` (in parallel
+    /// when worthwhile). Adaptors implement this by wrapping the sink.
+    fn drive(self, sink: impl Sink<Self::Item>);
+
+    /// Maps each item through `f` (applied on the worker that claimed the
+    /// item's unit).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its global index (exact regardless of which
+    /// worker processes which unit).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Zips with another *base source* position-wise, truncating to the
+    /// shorter operand. Shim restriction: both operands must be base sources
+    /// (slices/chunks/ranges/vecs), not adaptor outputs, so their unit grids
+    /// can be aligned without rayon's unsafe producer splitting.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        Self: ParallelSource,
+        B: ParallelSource,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Calls `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.drive(ForEachSink { f });
+    }
+
+    /// Collects into `C`, preserving input order no matter how units were
+    /// stolen across workers.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion from a parallel iterator, mirroring `FromIterator`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the iterator's items, in their original order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        /// Accumulates `(start, items)` runs; reassembled by sorting on
+        /// `start`, which restores input order positionally.
+        struct CollectSink<T> {
+            runs: Mutex<Vec<(usize, Vec<T>)>>,
+        }
+        impl<T: Send> Sink<T> for CollectSink<T> {
+            fn consume(&self, start: usize, items: impl Iterator<Item = T>) {
+                let run: Vec<T> = items.collect();
+                self.runs
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((start, run));
+            }
+        }
+        let sink = CollectSink { runs: Mutex::new(Vec::new()) };
+        let len = iter.total_len();
+        iter.drive(&sink);
+        let mut runs = sink.runs.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        runs.sort_unstable_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(len);
+        for (_, run) in runs {
+            out.extend(run);
+        }
+        out
+    }
+}
+
+/// Terminal sink for [`ParallelIterator::for_each`].
+struct ForEachSink<F> {
+    f: F,
+}
+
+impl<T, F: Fn(T) + Sync> Sink<T> for ForEachSink<F> {
+    fn consume(&self, _start: usize, items: impl Iterator<Item = T>) {
+        for item in items {
+            (self.f)(item);
+        }
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, R, F> ParallelIterator for Map<S, F>
+where
+    S: ParallelIterator,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn total_len(&self) -> usize {
+        self.base.total_len()
+    }
+
+    fn drive(self, sink: impl Sink<R>) {
+        /// Applies the map on the claiming worker, then forwards.
+        struct MapSink<K, F, R> {
+            inner: K,
+            f: F,
+            _result: std::marker::PhantomData<fn() -> R>,
+        }
+        impl<T, R, K, F> Sink<T> for MapSink<K, F, R>
+        where
+            K: Sink<R>,
+            F: Fn(T) -> R + Sync,
+        {
+            fn consume(&self, start: usize, items: impl Iterator<Item = T>) {
+                self.inner.consume(start, items.map(&self.f));
+            }
+        }
+        self.base.drive(MapSink { inner: sink, f: self.f, _result: std::marker::PhantomData });
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<S> {
+    base: S,
+}
+
+impl<S: ParallelIterator> ParallelIterator for Enumerate<S> {
+    type Item = (usize, S::Item);
+
+    fn total_len(&self) -> usize {
+        self.base.total_len()
+    }
+
+    fn drive(self, sink: impl Sink<(usize, S::Item)>) {
+        /// Rebases per-piece positions onto the global index space.
+        struct EnumerateSink<K> {
+            inner: K,
+        }
+        impl<T, K: Sink<(usize, T)>> Sink<T> for EnumerateSink<K> {
+            fn consume(&self, start: usize, items: impl Iterator<Item = T>) {
+                self.inner
+                    .consume(start, items.enumerate().map(move |(j, item)| (start + j, item)));
+            }
+        }
+        self.base.drive(EnumerateSink { inner: sink });
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelSource,
+    B: ParallelSource,
+{
+    type Item = (A::Item, B::Item);
+
+    fn total_len(&self) -> usize {
+        self.a.total_len().min(self.b.total_len())
+    }
+
+    fn drive(self, sink: impl Sink<(A::Item, B::Item)>) {
+        // Both operands split on the same unit grid, so piece `k` of each side
+        // covers the same global item range and zips positionally.
+        let len = self.total_len();
+        let threads = pool::current_num_threads();
+        if threads < 2 || len < SEQUENTIAL_CUTOFF {
+            let unit = self.a.total_len().max(self.b.total_len()).max(1);
+            let (a, b) = (self.a.split(unit), self.b.split(unit));
+            for (pa, pb) in a.into_iter().zip(b) {
+                sink.consume(0, pa.zip(pb));
+            }
+            return;
+        }
+        let unit_len = len.div_ceil(threads * UNITS_PER_THREAD).max(1);
+        let slots: Vec<Slot<(A::Piece, B::Piece)>> = self
+            .a
+            .split(unit_len)
+            .into_iter()
+            .zip(self.b.split(unit_len))
+            .map(|pair| Mutex::new(Some(pair)))
+            .collect();
+        pool::run_units(slots.len(), &|k| {
+            let (pa, pb) = take_slot(&slots[k]);
+            sink.consume(k * unit_len, pa.zip(pb));
+        });
+    }
+}
+
+/// Splits a slice into at-most-`unit_len`-element sub-slices, mapped through
+/// `piece` into sequential iterators.
+fn split_slice<'a, T, P>(slice: &'a [T], unit_len: usize, piece: impl Fn(&'a [T]) -> P) -> Vec<P> {
+    let mut pieces = Vec::with_capacity(slice.len().div_ceil(unit_len.max(1)).max(1));
+    let mut rest = slice;
+    while rest.len() > unit_len {
+        let (head, tail) = rest.split_at(unit_len);
+        pieces.push(piece(head));
+        rest = tail;
+    }
+    pieces.push(piece(rest));
+    pieces
+}
+
+/// `split_slice` for mutable slices (`split_at_mut` keeps the pieces
+/// disjoint, which is what lets workers mutate them concurrently without
+/// `unsafe`).
+fn split_slice_mut<'a, T, P>(
+    slice: &'a mut [T],
+    unit_len: usize,
+    piece: impl Fn(&'a mut [T]) -> P,
+) -> Vec<P> {
+    let mut pieces = Vec::with_capacity(slice.len().div_ceil(unit_len.max(1)).max(1));
+    let mut rest = slice;
+    while rest.len() > unit_len {
+        let (head, tail) = rest.split_at_mut(unit_len);
+        pieces.push(piece(head));
+        rest = tail;
+    }
+    pieces.push(piece(rest));
+    pieces
+}
+
+/// Parallel shared-slice iterator (`par_iter`).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelSource for ParIter<'a, T> {
+    type Item = &'a T;
+    type Piece = std::slice::Iter<'a, T>;
+
+    fn total_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split(self, unit_len: usize) -> Vec<Self::Piece> {
+        split_slice(self.slice, unit_len, <[T]>::iter)
+    }
+}
+
+/// Parallel mutable-slice iterator (`par_iter_mut`).
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelSource for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Piece = std::slice::IterMut<'a, T>;
+
+    fn total_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split(self, unit_len: usize) -> Vec<Self::Piece> {
+        split_slice_mut(self.slice, unit_len, <[T]>::iter_mut)
+    }
+}
+
+/// Parallel iterator over `chunk_size`-element sub-slices (`par_chunks`).
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelSource for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Piece = std::slice::Chunks<'a, T>;
+
+    fn total_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split(self, unit_len: usize) -> Vec<Self::Piece> {
+        // Units count items (= chunks), so the element boundary is a multiple
+        // of the chunk size and every chunk stays whole within one piece.
+        let chunk_size = self.chunk_size;
+        split_slice(self.slice, unit_len.saturating_mul(chunk_size), move |s| s.chunks(chunk_size))
+    }
+}
+
+/// Parallel iterator over mutable `chunk_size`-element sub-slices
+/// (`par_chunks_mut`).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParallelSource for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Piece = std::slice::ChunksMut<'a, T>;
+
+    fn total_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split(self, unit_len: usize) -> Vec<Self::Piece> {
+        let chunk_size = self.chunk_size;
+        split_slice_mut(self.slice, unit_len.saturating_mul(chunk_size), move |s| {
+            s.chunks_mut(chunk_size)
+        })
+    }
+}
+
+/// By-value parallel iterator over a `Vec` (`into_par_iter`).
+pub struct IntoParVec<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelSource for IntoParVec<T> {
+    type Item = T;
+    type Piece = std::vec::IntoIter<T>;
+
+    fn total_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split(mut self, unit_len: usize) -> Vec<Self::Piece> {
+        let mut pieces = Vec::with_capacity(self.vec.len().div_ceil(unit_len.max(1)).max(1));
+        while self.vec.len() > unit_len {
+            let tail = self.vec.split_off(unit_len);
+            pieces.push(std::mem::replace(&mut self.vec, tail).into_iter());
+        }
+        pieces.push(self.vec.into_iter());
+        pieces
+    }
+}
+
+/// Parallel iterator over a `usize` range (`into_par_iter`).
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelSource for ParRange {
+    type Item = usize;
+    type Piece = std::ops::Range<usize>;
+
+    fn total_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split(self, unit_len: usize) -> Vec<Self::Piece> {
+        let mut pieces = Vec::with_capacity(self.range.len().div_ceil(unit_len.max(1)).max(1));
+        let mut start = self.range.start;
+        while self.range.end - start > unit_len {
+            pieces.push(start..start + unit_len);
+            start += unit_len;
+        }
+        pieces.push(start..self.range.end);
+        pieces
+    }
+}
+
+/// Every base source is itself a parallel iterator; this macro wires the
+/// boilerplate (a blanket impl would collide with the adaptor impls under
+/// coherence).
+macro_rules! source_is_parallel_iterator {
+    ($($ty:ty : [$($generics:tt)*]),+ $(,)?) => {$(
+        impl<$($generics)*> ParallelIterator for $ty {
+            type Item = <$ty as ParallelSource>::Item;
+
+            fn total_len(&self) -> usize {
+                ParallelSource::total_len(self)
+            }
+
+            fn drive(self, sink: impl Sink<Self::Item>) {
+                drive_source(self, sink);
+            }
+        }
+    )+};
+}
+
+source_is_parallel_iterator!(
+    ParIter<'a, T>: ['a, T: Sync],
+    ParIterMut<'a, T>: ['a, T: Send],
+    ParChunks<'a, T>: ['a, T: Sync],
+    ParChunksMut<'a, T>: ['a, T: Send],
+    IntoParVec<T>: [T: Send],
+    ParRange: [],
+);
+
+/// Parallel iterators over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel equivalent of `[T]::iter`.
+    fn par_iter(&self) -> ParIter<'_, T>;
+    /// Parallel equivalent of `[T]::chunks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks { slice: self, chunk_size }
+    }
+}
+
+/// Parallel iterators over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel equivalent of `[T]::iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    /// Parallel equivalent of `[T]::chunks_mut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, chunk_size }
+    }
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item the iterator yields.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = IntoParVec<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IntoParVec { vec: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+    type Item = usize;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParRange { range: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPoolBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Runs `f` under an 8-wide pool so parallel paths execute even on
+    /// single-core machines (and regardless of `RAYON_NUM_THREADS`).
+    fn with_8_threads<R>(f: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new().num_threads(8).build().unwrap().install(f)
+    }
+
+    /// Uneven per-item work so fast workers race ahead and steal units out of
+    /// submission order; any ordering bug then scrambles the output.
+    fn spin(i: usize) -> usize {
+        let mut acc = i;
+        for _ in 0..(i % 17) * 50 {
+            acc = std::hint::black_box(acc.wrapping_mul(31).wrapping_add(7));
+        }
+        std::hint::black_box(acc);
+        i
+    }
+
+    #[test]
+    fn collect_preserves_input_order_under_stealing() {
+        let input: Vec<usize> = (0..997).collect();
+        let expected: Vec<usize> = input.iter().map(|&i| spin(i) * 2).collect();
+        for _ in 0..8 {
+            let got: Vec<usize> =
+                with_8_threads(|| input.par_iter().map(|&i| spin(i) * 2).collect());
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn into_par_iter_vec_collect_is_ordered() {
+        let got: Vec<usize> =
+            with_8_threads(|| (0..500).collect::<Vec<_>>().into_par_iter().map(spin).collect());
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter_counts_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..300).map(|_| AtomicUsize::new(0)).collect();
+        with_8_threads(|| {
+            (0..300).into_par_iter().for_each(|i| {
+                hits[spin(i)].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_iter_mut_reaches_every_element() {
+        let mut data = vec![0usize; 431];
+        with_8_threads(|| {
+            data.par_iter_mut().enumerate().for_each(|(i, x)| *x = spin(i) + 1);
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_sees_global_chunk_indices() {
+        let mut data = vec![0usize; 64 * 7 + 3]; // last chunk is partial
+        with_8_threads(|| {
+            data.par_chunks_mut(7).enumerate().for_each(|(c, chunk)| {
+                for x in chunk {
+                    *x = spin(c);
+                }
+            });
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i / 7);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_chunks_positionally() {
+        let src: Vec<f32> = (0..120).map(|i| i as f32).collect();
+        let mut dst = vec![0.0f32; 120];
+        with_8_threads(|| {
+            dst.par_chunks_mut(8).zip(src.par_chunks(8)).for_each(|(d, s)| {
+                for (a, b) in d.iter_mut().zip(s) {
+                    *a = b * 3.0;
+                }
+            });
+        });
+        for (i, &x) in dst.iter().enumerate() {
+            assert_eq!(x, i as f32 * 3.0);
+        }
+    }
+
+    #[test]
+    fn zip_truncates_to_the_shorter_operand() {
+        let a: Vec<usize> = (0..101).collect();
+        let b: Vec<usize> = (0..67).collect();
+        let pairs: Vec<(usize, usize)> =
+            with_8_threads(|| a.par_iter().zip(b.par_iter()).map(|(&x, &y)| (x, y)).collect());
+        assert_eq!(pairs.len(), 67);
+        assert!(pairs.iter().enumerate().all(|(i, &(x, y))| x == i && y == i));
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_run_inline() {
+        let empty: Vec<usize> = Vec::new();
+        let collected: Vec<usize> = with_8_threads(|| empty.par_iter().map(|&x| x).collect());
+        assert!(collected.is_empty());
+        let mut one = [41usize];
+        with_8_threads(|| one.par_iter_mut().for_each(|x| *x += 1));
+        assert_eq!(one[0], 42);
+    }
+
+    #[test]
+    fn single_thread_pool_matches_parallel_results() {
+        let input: Vec<usize> = (0..256).collect();
+        let serial: Vec<usize> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| input.par_iter().map(|&i| i * i).collect());
+        let parallel: Vec<usize> = with_8_threads(|| input.par_iter().map(|&i| i * i).collect());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "item 13 exploded")]
+    fn panics_inside_parallel_regions_keep_their_message() {
+        with_8_threads(|| {
+            (0..64).into_par_iter().for_each(|i| {
+                assert!(i != 13, "item 13 exploded");
+            });
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be non-zero")]
+    fn zero_chunk_size_panics() {
+        let data = [1, 2, 3];
+        let _ = data.par_chunks(0);
+    }
+}

@@ -1,74 +1,38 @@
-//! A sequential stand-in for the subset of `rayon` this workspace uses.
+//! A vendored, genuinely parallel stand-in for the subset of `rayon` this
+//! workspace uses.
 //!
-//! Vendored because the build environment has no crates.io access. The
-//! `par_*` methods return the corresponding **sequential** std iterators, so
-//! every adaptor chain (`.enumerate()`, `.zip()`, `.map()`, `.for_each()`,
-//! `.collect()`, ...) type-checks and produces identical results — just on
-//! one thread. Swapping in the real rayon restores parallelism with no
-//! source changes; until then the kernels' "parallel" variants measure the
-//! partitioning logic, not actual multi-core speedups (see ROADMAP.md).
+//! Vendored because the build environment has no crates.io access. Unlike the
+//! earlier sequential shim, `par_*` calls here really fan out across CPU
+//! cores: work is cut into steal-units that scoped worker threads claim off
+//! an atomic index ([`mod@pool`]), and the iterator adaptor chains the
+//! workspace uses (`enumerate`, `zip`, `map`, `for_each`, order-preserving
+//! `collect`) run on whichever worker claimed each unit ([`mod@iter`]).
+//! Everything is safe Rust — the workspace denies `unsafe_code` — built on
+//! [`std::thread::scope`], with inline sequential execution when the input is
+//! too small to amortize a spawn or the pool width is 1.
+//!
+//! Knobs:
+//!
+//! * `RAYON_NUM_THREADS` — global pool width (default: the machine's
+//!   available parallelism). `0` or unparsable values mean "default", like
+//!   real rayon.
+//! * [`ThreadPoolBuilder`]`::new().num_threads(n).build()?.install(|| ...)` —
+//!   per-call-site width override, used by the `threads_scaling` bench and
+//!   the kernel equivalence tests to sweep widths inside one process.
+//!
+//! Swapping in the real rayon remains a manifest-only change: the surface is
+//! API-compatible for everything the workspace exercises (divergences are
+//! listed in `shims/README.md`).
+
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
 /// Drop-in replacement for `rayon::prelude`.
 pub mod prelude {
-    /// Parallel (here: sequential) iterators over shared slices.
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// Parallel (here: sequential) iterators over mutable slices.
-    pub trait ParallelSliceMut<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
-
-    /// Conversion into a parallel (here: sequential) iterator by value.
-    pub trait IntoParallelIterator {
-        /// The iterator produced.
-        type Iter: Iterator;
-        /// Sequential stand-in for `rayon`'s `into_par_iter`.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    impl IntoParallelIterator for std::ops::Range<usize> {
-        type Iter = std::ops::Range<usize>;
-        fn into_par_iter(self) -> Self::Iter {
-            self
-        }
-    }
-}
-
-/// Returns the number of threads the pool would use (always 1: the shim runs
-/// everything sequentially).
-pub fn current_num_threads() -> usize {
-    1
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }

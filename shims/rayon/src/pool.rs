@@ -1,0 +1,279 @@
+//! The parallel executor behind the shim's `par_*` iterators.
+//!
+//! The workspace denies `unsafe_code`, which rules out the classic persistent
+//! worker-pool design (sending non-`'static` borrowing closures to daemon
+//! threads requires lifetime transmutation). Instead the "pool" is a
+//! fork-join executor: a lazily-initialized global *width* (number of worker
+//! threads, from `RAYON_NUM_THREADS` or the machine's available parallelism)
+//! plus `run_units`, which re-establishes that many workers per parallel
+//! call with [`std::thread::scope`] — the only safe way to run closures that
+//! borrow the caller's stack. Workers claim fixed-size work units off a shared
+//! atomic index (a single-deque work-stealing discipline: whichever worker
+//! finishes early steals the next unclaimed unit), so unequal unit costs still
+//! balance across cores.
+//!
+//! Spawning scoped threads costs tens of microseconds; callers amortize it by
+//! falling back to inline execution for tiny inputs (see `iter.rs`) and by
+//! keeping units coarse (several items per claim).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Global pool width, resolved once from the environment.
+static CONFIGURED_THREADS: OnceLock<usize> = OnceLock::new();
+
+std::thread_local! {
+    /// Per-thread width override installed by [`ThreadPool::install`]
+    /// (0 = no override). Lets benchmarks sweep thread counts inside one
+    /// process without touching the global configuration.
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Resolves the global width: `RAYON_NUM_THREADS` if set to a positive
+/// integer (rayon treats 0 as "unset"), otherwise the machine's available
+/// parallelism, otherwise 1.
+fn configured_threads() -> usize {
+    *CONFIGURED_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Number of threads a parallel call issued from this thread will use: the
+/// innermost [`ThreadPool::install`] override if one is active, else the
+/// global width (`RAYON_NUM_THREADS` or available parallelism).
+pub fn current_num_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.with(std::cell::Cell::get);
+    if overridden >= 1 {
+        overridden
+    } else {
+        configured_threads()
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the subset the workspace
+/// uses: picking an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder that inherits the global width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width; 0 means "use the global width" (rayon semantics).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim; the `Result` mirrors rayon's
+    /// signature so call sites stay source-compatible.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads >= 1 { self.num_threads } else { configured_threads() };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim's build cannot
+/// actually fail; the type exists for API parity with rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle fixing a thread count for parallel calls made under
+/// [`ThreadPool::install`]. Unlike real rayon no threads are kept alive; the
+/// handle only carries the width that scoped workers are spawned with.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The width parallel calls under [`ThreadPool::install`] will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's width as the ambient thread count: every
+    /// parallel iterator driven from inside `op` (on this thread) uses it.
+    /// Overrides nest and restore on exit, including on panic.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(self.threads)));
+        op()
+    }
+}
+
+/// Runs `worker(k)` for every unit `k in 0..units`, distributing units across
+/// up to [`current_num_threads`] scoped workers via an atomic claim index.
+///
+/// The calling thread participates as a worker, so a width of 1 (or a single
+/// unit) degenerates to an inline loop with zero spawn cost. Worker panics
+/// are caught and re-raised on the caller with their original payload once
+/// the scope has joined, preserving `#[should_panic(expected = ...)]`
+/// semantics; after the first panic no further units are claimed.
+pub(crate) fn run_units(units: usize, worker: &(dyn Fn(usize) + Sync)) {
+    let width = current_num_threads().min(units);
+    if width <= 1 {
+        for k in 0..units {
+            worker(k);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    // Workers inherit the caller's effective width so a nested par_* call
+    // inside a unit sees the same pool size as the code that launched it
+    // (matching rayon, where work on pool threads uses that pool). The
+    // fresh-thread TLS needs no restore: the thread ends with the scope.
+    let ambient = current_num_threads();
+    std::thread::scope(|scope| {
+        for _ in 1..width {
+            scope.spawn(|| {
+                THREAD_OVERRIDE.with(|c| c.set(ambient));
+                steal_loop(&next, units, worker, &first_panic);
+            });
+        }
+        steal_loop(&next, units, worker, &first_panic);
+    });
+    let panicked = first_panic.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(payload) = panicked {
+        resume_unwind(payload);
+    }
+}
+
+/// One worker: claim the next unit off the shared index until none remain.
+fn steal_loop(
+    next: &AtomicUsize,
+    units: usize,
+    worker: &(dyn Fn(usize) + Sync),
+    first_panic: &Mutex<Option<Box<dyn std::any::Any + Send>>>,
+) {
+    loop {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        if k >= units {
+            break;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| worker(k))) {
+            first_panic
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get_or_insert(payload);
+            // Cancel the remaining units: in-flight claims finish, new ones stop.
+            next.store(units, Ordering::Relaxed);
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn width_is_at_least_one() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn install_restores_after_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let outer = current_num_threads();
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.install(|| panic!("boom"))));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn builder_zero_means_global_width() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), configured_threads());
+    }
+
+    #[test]
+    fn run_units_visits_every_unit_exactly_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            run_units(hits.len(), &|k| {
+                hits[k].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_parallel_calls_inherit_the_installed_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            run_units(32, &|_| {
+                // Seen from inside a worker (spawned or the caller), the
+                // ambient width is still the installed one.
+                assert_eq!(current_num_threads(), 3);
+            });
+        });
+    }
+
+    #[test]
+    fn run_units_with_zero_units_is_a_no_op() {
+        let touched = AtomicBool::new(false);
+        run_units(0, &|_| touched.store(true, Ordering::Relaxed));
+        assert!(!touched.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                run_units(16, &|k| {
+                    if k == 7 {
+                        panic!("unit seven failed");
+                    }
+                });
+            });
+        }));
+        let payload = caught.expect_err("the worker panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("unit seven failed"), "got: {message}");
+    }
+}
