@@ -7,10 +7,11 @@
 //! baseline (Figure 8b); when the prefill waitqueue is empty it has no choice but to run
 //! CPU-bound batches, hurting latency (Figure 8a).
 
-use neo_core::batch::{PrefillItem, ScheduleDecision, SubBatch};
-use neo_core::scheduler::{ScheduleContext, Scheduler};
+use neo_core::policy::{IterationPlan, SchedulerPolicy};
+use neo_core::scheduler::ScheduleContext;
 use neo_core::ExecutionMode;
-use neo_kvcache::Device;
+
+use crate::common::{admit_prefills_to_cpu, collect_full_offload_decodes};
 
 /// The FastDecode+ scheduler: every decode request is a CPU-request.
 #[derive(Debug, Clone, Default)]
@@ -23,80 +24,24 @@ impl FastDecodePlusScheduler {
     }
 }
 
-impl Scheduler for FastDecodePlusScheduler {
-    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
-        let cfg = ctx.config;
-        let mut batch0 = SubBatch::new();
-        let mut batch1 = SubBatch::new();
-        let mut swap_out = Vec::new();
-        let mut cpu_free = ctx.cpu_free_tokens as i64;
-
-        // Any request that somehow lives on the GPU is evicted: FastDecode keeps all KV on
-        // the host.
-        for &id in ctx.gpu_run {
-            let c = ctx.context_len(id);
-            if cpu_free >= (c + 1) as i64 {
-                swap_out.push(id);
-                cpu_free -= (c + 1) as i64;
-                batch1.cpu_decodes.push((id, c));
-            }
-        }
-
-        // All CPU-resident requests decode every iteration (no balancing, no fallback).
-        for &id in ctx.cpu_run {
-            if batch1.sequences() >= cfg.max_batch_seqs {
-                break;
-            }
-            if cpu_free <= 0 {
-                break;
-            }
-            batch1.cpu_decodes.push((id, ctx.context_len(id)));
-            cpu_free -= 1;
-        }
-
-        // Prefills run on the GPU (prefill is compute-bound and stays there), but the
-        // generated KV is always swapped out to the CPU cache.
-        let mut token_budget = cfg.max_batch_tokens;
-        for &id in ctx.waiting {
-            if token_budget == 0 || batch0.sequences() >= cfg.max_batch_seqs {
-                break;
-            }
-            let remaining = ctx.remaining_prefill(id);
-            if remaining == 0 {
-                continue;
-            }
-            let chunk = remaining.min(token_budget).min(cfg.prefill_chunk.max(1));
-            if cpu_free < chunk as i64 {
-                break;
-            }
-            let already = ctx.requests[&id].prefilled;
-            batch0.prefills.push(PrefillItem {
-                req: id,
-                new_tokens: chunk,
-                ctx_after: already + chunk,
-                target: Device::Cpu,
-            });
-            cpu_free -= chunk as i64;
-            token_budget -= chunk;
-        }
-
-        let decision = ScheduleDecision {
-            mode: ExecutionMode::Asymmetric,
-            batch0,
-            batch1,
-            swap_out,
-            swap_in: Vec::new(),
-            preempt: Vec::new(),
-        };
-        if decision.is_idle() {
-            ScheduleDecision::idle()
-        } else {
-            decision
-        }
+impl SchedulerPolicy for FastDecodePlusScheduler {
+    fn policy_name(&self) -> &'static str {
+        "fastdecode+"
     }
 
-    fn name(&self) -> &'static str {
-        "fastdecode+"
+    /// All decode attention runs on the CPU: any request that somehow lives on the GPU is
+    /// evicted (FastDecode keeps all KV on the host), and every CPU-resident request
+    /// decodes every iteration — no balancing, no fallback. All of batch-1: the CPU
+    /// attention overlaps with whatever prefill work batch-0 carries.
+    fn form_batches(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        plan.mode = ExecutionMode::Asymmetric;
+        let decodes = collect_full_offload_decodes(ctx, plan, ctx.config.max_batch_seqs);
+        plan.batch1.cpu_decodes = decodes;
+    }
+
+    /// Prefills run on the GPU but their KV is always swapped out to the CPU cache.
+    fn admit(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        admit_prefills_to_cpu(ctx, plan);
     }
 }
 
@@ -106,6 +51,8 @@ mod tests {
     use neo_core::config::EngineConfig;
     use neo_core::engine::Engine;
     use neo_core::request::Request;
+    use neo_core::Scheduler;
+    use neo_kvcache::Device;
     use neo_sim::{CostModel, ModelDesc, Testbed};
 
     fn engine() -> Engine {

@@ -5,9 +5,9 @@
 //! memory and the token budget allow, and requests that cannot fit simply wait. This is
 //! the "GPU-only" baseline every figure of the paper normalises against.
 
-use neo_core::batch::{PrefillItem, ScheduleDecision, SubBatch};
-use neo_core::scheduler::{ScheduleContext, Scheduler};
-use neo_core::ExecutionMode;
+use neo_core::batch::PrefillItem;
+use neo_core::policy::{IterationPlan, SchedulerPolicy};
+use neo_core::scheduler::ScheduleContext;
 use neo_kvcache::Device;
 
 /// A GPU-only iteration-level scheduler.
@@ -36,16 +36,17 @@ impl GpuOnlyScheduler {
     }
 }
 
-impl Scheduler for GpuOnlyScheduler {
-    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
-        let cfg = ctx.config;
-        let mut batch0 = SubBatch::new();
-        let mut gpu_free = ctx.gpu_free_tokens as i64;
-        let mut preempt: Vec<u64> = Vec::new();
+impl SchedulerPolicy for GpuOnlyScheduler {
+    fn policy_name(&self) -> &'static str {
+        self.name
+    }
 
-        // Every GPU-resident request needs one new KV slot this iteration. If the GPU pool
-        // cannot supply them, preempt the most recently arrived requests (free their KV and
-        // recompute later), exactly like vLLM's recompute-mode preemption.
+    /// Every GPU-resident request needs one new KV slot this iteration. If the GPU pool
+    /// cannot supply them, preempt the most recently arrived requests (free their KV and
+    /// recompute later), exactly like vLLM's recompute-mode preemption. GPU-only policies
+    /// never swap: the CPU cache does not exist for them.
+    fn form_batches(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        let cfg = ctx.config;
         let mut decodes: Vec<(u64, usize)> =
             ctx.gpu_run.iter().map(|&id| (id, ctx.context_len(id))).collect();
         // Earliest-arrival first, so victims are taken from the back (latest arrivals).
@@ -54,23 +55,29 @@ impl Scheduler for GpuOnlyScheduler {
             let tb = ctx.requests[&b.0].arrival_time;
             ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
         });
-        while decodes.len() as i64 > gpu_free && decodes.len() > 1 {
+        while decodes.len() as i64 > plan.gpu_free && decodes.len() > 1 {
             let (victim, ctx_len) = decodes.pop().expect("non-empty");
-            preempt.push(victim);
-            gpu_free += ctx_len as i64;
+            plan.preempt.push(victim);
+            plan.gpu_free += ctx_len as i64;
         }
         for (id, c) in decodes {
-            if gpu_free <= 0 || batch0.sequences() >= cfg.max_batch_seqs {
+            if plan.gpu_free <= 0 || plan.batch0.sequences() >= cfg.max_batch_seqs {
                 break;
             }
-            batch0.gpu_decodes.push((id, c));
-            gpu_free -= 1;
+            plan.batch0.gpu_decodes.push((id, c));
+            plan.gpu_free -= 1;
         }
+    }
 
-        // Admit prefills while the token budget and GPU memory allow.
-        let mut token_budget = cfg.max_batch_tokens.saturating_sub(batch0.linear_tokens());
+    /// Admit prefills while the token budget and GPU memory allow. This loop is bespoke
+    /// (not [`IterationPlan::admit_prefills`]) because SwiftLLM-like whole-prompt
+    /// admission blocks the head of the line when the remaining budget cannot take a full
+    /// prompt.
+    fn admit(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        let cfg = ctx.config;
+        let mut token_budget = plan.token_budget(ctx);
         for &id in ctx.waiting {
-            if token_budget == 0 || batch0.sequences() >= cfg.max_batch_seqs {
+            if token_budget == 0 || plan.batch0.sequences() >= cfg.max_batch_seqs {
                 break;
             }
             let remaining = ctx.remaining_prefill(id);
@@ -85,37 +92,19 @@ impl Scheduler for GpuOnlyScheduler {
                 // Prompts longer than the whole budget are necessarily chunked.
                 break;
             }
-            if gpu_free < chunk as i64 {
+            if plan.gpu_free < chunk as i64 {
                 break;
             }
             let already = ctx.requests[&id].prefilled;
-            batch0.prefills.push(PrefillItem {
+            plan.batch0.prefills.push(PrefillItem {
                 req: id,
                 new_tokens: chunk,
                 ctx_after: already + chunk,
                 target: Device::Gpu,
             });
-            gpu_free -= chunk as i64;
+            plan.gpu_free -= chunk as i64;
             token_budget -= chunk;
         }
-
-        let decision = ScheduleDecision {
-            mode: ExecutionMode::GpuOnly,
-            batch0,
-            batch1: SubBatch::new(),
-            swap_out: Vec::new(),
-            swap_in: Vec::new(),
-            preempt,
-        };
-        if decision.is_idle() {
-            ScheduleDecision::idle()
-        } else {
-            decision
-        }
-    }
-
-    fn name(&self) -> &'static str {
-        self.name
     }
 }
 

@@ -9,37 +9,11 @@
 //!   in the same GPU stream but contributes nothing to hiding CPU work) and GPU KV memory
 //!   is left unused.
 
-use neo_core::batch::{PrefillItem, ScheduleDecision, SubBatch};
-use neo_core::scheduler::{ScheduleContext, Scheduler};
+use neo_core::policy::{IterationPlan, SchedulerPolicy};
+use neo_core::scheduler::ScheduleContext;
 use neo_core::ExecutionMode;
-use neo_kvcache::Device;
 
-fn admit_prefills_to_cpu(ctx: &ScheduleContext<'_>, batch0: &mut SubBatch, cpu_free: &mut i64) {
-    let cfg = ctx.config;
-    let mut token_budget = cfg.max_batch_tokens.saturating_sub(batch0.linear_tokens());
-    for &id in ctx.waiting {
-        if token_budget == 0 || batch0.sequences() >= cfg.max_batch_seqs {
-            break;
-        }
-        let remaining = ctx.remaining_prefill(id);
-        if remaining == 0 {
-            continue;
-        }
-        let chunk = remaining.min(token_budget).min(cfg.prefill_chunk.max(1));
-        if *cpu_free < chunk as i64 {
-            break;
-        }
-        let already = ctx.requests[&id].prefilled;
-        batch0.prefills.push(PrefillItem {
-            req: id,
-            new_tokens: chunk,
-            ctx_after: already + chunk,
-            target: Device::Cpu,
-        });
-        *cpu_free -= chunk as i64;
-        token_budget -= chunk;
-    }
-}
+use crate::common::{admit_prefills_to_cpu, collect_full_offload_decodes};
 
 /// Strawman #1: full offload, no GPU/CPU overlap.
 #[derive(Debug, Clone, Default)]
@@ -52,50 +26,22 @@ impl SimpleOffloadScheduler {
     }
 }
 
-impl Scheduler for SimpleOffloadScheduler {
-    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
-        let cfg = ctx.config;
-        let mut batch0 = SubBatch::new();
-        let mut swap_out = Vec::new();
-        let mut cpu_free = ctx.cpu_free_tokens as i64;
-
-        for &id in ctx.gpu_run {
-            let c = ctx.context_len(id);
-            if cpu_free >= (c + 1) as i64 {
-                swap_out.push(id);
-                cpu_free -= (c + 1) as i64;
-                batch0.cpu_decodes.push((id, c));
-            }
-        }
-        for &id in ctx.cpu_run {
-            if batch0.sequences() >= cfg.max_batch_seqs || cpu_free <= 0 {
-                break;
-            }
-            batch0.cpu_decodes.push((id, ctx.context_len(id)));
-            cpu_free -= 1;
-        }
-        admit_prefills_to_cpu(ctx, &mut batch0, &mut cpu_free);
-
-        // Everything sits in batch-0: the iteration formula then serialises the CPU
-        // attention after the GPU stages (`max(Tl1 + Tga0, Tca0)` with `Tl1 = 0`), i.e. no
-        // overlap — exactly the simple-offloading timeline of Figure 3.
-        let decision = ScheduleDecision {
-            mode: ExecutionMode::Asymmetric,
-            batch0,
-            batch1: SubBatch::new(),
-            swap_out,
-            swap_in: Vec::new(),
-            preempt: Vec::new(),
-        };
-        if decision.is_idle() {
-            ScheduleDecision::idle()
-        } else {
-            decision
-        }
+impl SchedulerPolicy for SimpleOffloadScheduler {
+    fn policy_name(&self) -> &'static str {
+        "simple-offload"
     }
 
-    fn name(&self) -> &'static str {
-        "simple-offload"
+    /// Everything sits in batch-0: the iteration formula then serialises the CPU
+    /// attention after the GPU stages (`max(Tl1 + Tga0, Tca0)` with `Tl1 = 0`), i.e. no
+    /// overlap — exactly the simple-offloading timeline of Figure 3.
+    fn form_batches(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        plan.mode = ExecutionMode::Asymmetric;
+        let decodes = collect_full_offload_decodes(ctx, plan, ctx.config.max_batch_seqs);
+        plan.batch0.cpu_decodes = decodes;
+    }
+
+    fn admit(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        admit_prefills_to_cpu(ctx, plan);
     }
 }
 
@@ -110,58 +56,27 @@ impl SymmetricPipelineScheduler {
     }
 }
 
-impl Scheduler for SymmetricPipelineScheduler {
-    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
-        let cfg = ctx.config;
-        let mut batch0 = SubBatch::new();
-        let mut batch1 = SubBatch::new();
-        let mut swap_out = Vec::new();
-        let mut cpu_free = ctx.cpu_free_tokens as i64;
+impl SchedulerPolicy for SymmetricPipelineScheduler {
+    fn policy_name(&self) -> &'static str {
+        "symmetric-pipeline"
+    }
 
-        // Collect every decode request (all offloaded), then split evenly in two.
-        let mut decodes: Vec<(u64, usize)> = Vec::new();
-        for &id in ctx.gpu_run {
-            let c = ctx.context_len(id);
-            if cpu_free >= (c + 1) as i64 {
-                swap_out.push(id);
-                cpu_free -= (c + 1) as i64;
-                decodes.push((id, c));
-            }
-        }
-        for &id in ctx.cpu_run {
-            if decodes.len() >= 2 * cfg.max_batch_seqs || cpu_free <= 0 {
-                break;
-            }
-            decodes.push((id, ctx.context_len(id)));
-            cpu_free -= 1;
-        }
+    /// Collect every decode request (all offloaded), then split evenly in two identical
+    /// halves whose linear and attention stages overlap (Figure 4).
+    fn form_batches(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        plan.mode = ExecutionMode::Asymmetric;
+        let decodes = collect_full_offload_decodes(ctx, plan, 2 * ctx.config.max_batch_seqs);
         for (i, item) in decodes.into_iter().enumerate() {
             if i % 2 == 0 {
-                batch0.cpu_decodes.push(item);
+                plan.batch0.cpu_decodes.push(item);
             } else {
-                batch1.cpu_decodes.push(item);
+                plan.batch1.cpu_decodes.push(item);
             }
-        }
-
-        admit_prefills_to_cpu(ctx, &mut batch0, &mut cpu_free);
-
-        let decision = ScheduleDecision {
-            mode: ExecutionMode::Asymmetric,
-            batch0,
-            batch1,
-            swap_out,
-            swap_in: Vec::new(),
-            preempt: Vec::new(),
-        };
-        if decision.is_idle() {
-            ScheduleDecision::idle()
-        } else {
-            decision
         }
     }
 
-    fn name(&self) -> &'static str {
-        "symmetric-pipeline"
+    fn admit(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        admit_prefills_to_cpu(ctx, plan);
     }
 }
 
@@ -171,6 +86,7 @@ mod tests {
     use neo_core::config::EngineConfig;
     use neo_core::engine::Engine;
     use neo_core::request::Request;
+    use neo_core::Scheduler;
     use neo_sim::{CostModel, ModelDesc, Testbed};
 
     fn engine(sched: Box<dyn Scheduler>) -> Engine {

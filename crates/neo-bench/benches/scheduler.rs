@@ -8,7 +8,9 @@
 use std::collections::HashMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use neo_baselines::{FastDecodePlusScheduler, GpuOnlyScheduler};
+use neo_baselines::{
+    FastDecodePlusScheduler, GpuOnlyScheduler, PipoScheduler, SpecOffloadScheduler,
+};
 use neo_core::config::EngineConfig;
 use neo_core::request::Request;
 use neo_core::scheduler::{NeoScheduler, ScheduleContext, Scheduler};
@@ -104,6 +106,14 @@ fn bench_policies(c: &mut Criterion) {
     });
     group.bench_function("fastdecode_plus", |b| {
         let mut s = FastDecodePlusScheduler::new();
+        b.iter(|| s.schedule(&ctx(&fx)));
+    });
+    group.bench_function("pipo", |b| {
+        let mut s = PipoScheduler::new();
+        b.iter(|| s.schedule(&ctx(&fx)));
+    });
+    group.bench_function("specoffload", |b| {
+        let mut s = SpecOffloadScheduler::new();
         b.iter(|| s.schedule(&ctx(&fx)));
     });
     group.finish();

@@ -7,7 +7,8 @@
 //! JSON output helpers.
 
 use neo_baselines::{
-    FastDecodePlusScheduler, GpuOnlyScheduler, SimpleOffloadScheduler, SymmetricPipelineScheduler,
+    FastDecodePlusScheduler, GpuOnlyScheduler, PipoScheduler, SimpleOffloadScheduler,
+    SpecOffloadScheduler, SymmetricPipelineScheduler,
 };
 use neo_core::{Engine, EngineConfig, NeoScheduler, Scheduler};
 use neo_sim::{CostModel, ModelDesc, Testbed};
@@ -98,9 +99,27 @@ pub enum Policy {
     SimpleOffload,
     /// Strawman #2: symmetric pipelining.
     SymmetricPipeline,
+    /// PIPO: static pipelined offloading (double-buffered KV streaming).
+    Pipo,
+    /// SpecOffload: speculative batch expansion with AIMD width control.
+    SpecOffload,
 }
 
 impl Policy {
+    /// Every registered policy, in evaluation order. This is the registry the
+    /// results-regeneration tests check figure JSON against: a policy label appearing in
+    /// `results/*.json` must map back to exactly one of these.
+    pub const ALL: [Policy; 8] = [
+        Policy::Neo,
+        Policy::VllmLike,
+        Policy::SwiftLlmLike,
+        Policy::FastDecodePlus,
+        Policy::SimpleOffload,
+        Policy::SymmetricPipeline,
+        Policy::Pipo,
+        Policy::SpecOffload,
+    ];
+
     /// Constructs the scheduler implementing this policy.
     pub fn scheduler(self) -> Box<dyn Scheduler> {
         match self {
@@ -110,6 +129,8 @@ impl Policy {
             Policy::FastDecodePlus => Box::new(FastDecodePlusScheduler::new()),
             Policy::SimpleOffload => Box::new(SimpleOffloadScheduler::new()),
             Policy::SymmetricPipeline => Box::new(SymmetricPipelineScheduler::new()),
+            Policy::Pipo => Box::new(PipoScheduler::new()),
+            Policy::SpecOffload => Box::new(SpecOffloadScheduler::new()),
         }
     }
 
@@ -122,7 +143,14 @@ impl Policy {
             Policy::FastDecodePlus => "FastDecode+",
             Policy::SimpleOffload => "SimpleOffload",
             Policy::SymmetricPipeline => "SymmetricPipeline",
+            Policy::Pipo => "PIPO",
+            Policy::SpecOffload => "SpecOffload",
         }
+    }
+
+    /// Looks a policy up by its display label (the name recorded in `results/*.json`).
+    pub fn from_label(label: &str) -> Option<Policy> {
+        Policy::ALL.into_iter().find(|p| p.label() == label)
     }
 }
 
@@ -196,14 +224,7 @@ mod tests {
     #[test]
     fn scenarios_build_engines_for_every_policy() {
         for scenario in [Scenario::a10g_8b(), Scenario::t4_7b(), Scenario::h100_70b()] {
-            for policy in [
-                Policy::Neo,
-                Policy::VllmLike,
-                Policy::SwiftLlmLike,
-                Policy::FastDecodePlus,
-                Policy::SimpleOffload,
-                Policy::SymmetricPipeline,
-            ] {
+            for policy in Policy::ALL {
                 let engine = scenario.engine(policy);
                 assert!(engine.is_idle());
                 assert!(!engine.scheduler_name().is_empty());
@@ -212,19 +233,16 @@ mod tests {
     }
 
     #[test]
-    fn policy_labels_are_unique() {
-        let labels = [
-            Policy::Neo.label(),
-            Policy::VllmLike.label(),
-            Policy::SwiftLlmLike.label(),
-            Policy::FastDecodePlus.label(),
-            Policy::SimpleOffload.label(),
-            Policy::SymmetricPipeline.label(),
-        ];
+    fn policy_labels_are_unique_and_resolvable() {
+        let labels: Vec<&str> = Policy::ALL.iter().map(|p| p.label()).collect();
         let mut dedup = labels.to_vec();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len());
+        for policy in Policy::ALL {
+            assert_eq!(Policy::from_label(policy.label()), Some(policy));
+        }
+        assert_eq!(Policy::from_label("nope"), None);
     }
 
     #[test]

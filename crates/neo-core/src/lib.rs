@@ -46,6 +46,7 @@ pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod pipeline;
+pub mod policy;
 pub mod request;
 pub mod scheduler;
 
@@ -53,6 +54,7 @@ pub use batch::{PrefillItem, ScheduleDecision, SubBatch};
 pub use config::EngineConfig;
 pub use engine::{Engine, IterationReport};
 pub use pipeline::IterationEstimate;
+pub use policy::{IterationPlan, SchedulerPolicy};
 pub use request::{Request, RequestState};
 pub use scheduler::{NeoScheduler, ScheduleContext, Scheduler};
 
@@ -63,6 +65,9 @@ pub enum ExecutionMode {
     GpuOnly,
     /// NEO's two-sub-batch asymmetric pipelining.
     Asymmetric,
+    /// PIPO-style pipelined KV streaming: attention of CPU-resident decodes runs on the
+    /// GPU over KV streamed in layer by layer, double-buffered with compute.
+    Streamed,
 }
 
 impl std::fmt::Display for ExecutionMode {
@@ -70,6 +75,7 @@ impl std::fmt::Display for ExecutionMode {
         match self {
             ExecutionMode::GpuOnly => write!(f, "gpu-only"),
             ExecutionMode::Asymmetric => write!(f, "asymmetric"),
+            ExecutionMode::Streamed => write!(f, "streamed"),
         }
     }
 }

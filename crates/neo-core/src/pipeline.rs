@@ -82,6 +82,25 @@ pub fn stage_times(cost: &dyn IterationCost, batch: &SubBatch) -> StageTimes {
     StageTimes { tl, tga, tca }
 }
 
+/// The paper's balancing inequalities (step 4 of §3.2), with relative slack: the CPU
+/// attention of each sub-batch must hide under the other's GPU shadow,
+/// `Tca1 ≤ Tl0` and `Tca0 ≤ Tl1 + Tga0`.
+///
+/// Shared by `NeoScheduler` (which enforces it while placing CPU decodes) and the
+/// SpecOffload baseline (which checks it *after* speculatively over-placing them), so
+/// the two policies always judge "hidden" by the same rule.
+pub fn balanced(
+    cost: &dyn IterationCost,
+    batch0: &SubBatch,
+    batch1: &SubBatch,
+    slack: f64,
+) -> bool {
+    let s0 = stage_times(cost, batch0);
+    let s1 = stage_times(cost, batch1);
+    let tol = 1.0 + slack;
+    s1.tca <= s0.tl * tol && s0.tca <= (s1.tl + s0.tga) * tol
+}
+
 /// Estimates one iteration of NEO's asymmetric pipelining.
 ///
 /// `whole_swap_out_tokens` / `whole_swap_in_tokens` are the tokens of whole-sequence swaps
@@ -169,6 +188,73 @@ pub fn estimate_gpu_only(
     }
 }
 
+/// Estimates one iteration of PIPO-style pipelined KV streaming.
+///
+/// In [`ExecutionMode::Streamed`] the `cpu_decodes` of both sub-batches are *streamed*
+/// decodes: their KV cache stays host-resident, but their attention runs on the **GPU**
+/// over KV brought in layer by layer, double-buffered with compute (the PIPO design).
+/// Per layer, the compute stage covers the linear stage plus GPU attention over all
+/// decodes (GPU-resident and streamed alike); the transfer stage covers streaming the
+/// cached KV in, writing the freshly generated KV token of each streamed request back
+/// out, plus any whole-sequence swap traffic. The iteration time follows
+/// [`neo_sim::transfer::double_buffered_time`]: transfers hide behind compute until the
+/// PCIe stage becomes the bottleneck, after which the pipeline runs at the DMA engine's
+/// pace — which is exactly how PIPO degrades as contexts grow.
+pub fn estimate_streamed(
+    cost: &dyn IterationCost,
+    decision: &ScheduleDecision,
+    whole_swap_out_tokens: usize,
+    whole_swap_in_tokens: usize,
+) -> IterationEstimate {
+    let b0 = &decision.batch0;
+    let b1 = &decision.batch1;
+    let layers = cost.n_layers();
+
+    let streamed_ctx = b0.cpu_decode_ctx() + b1.cpu_decode_ctx();
+    let streamed_reqs = b0.cpu_decodes.len() + b1.cpu_decodes.len();
+    let gpu_decode_ctx = b0.gpu_decode_ctx() + b1.gpu_decode_ctx();
+    let gpu_decode_reqs = b0.gpu_decodes.len() + b1.gpu_decodes.len();
+
+    let total_tokens = decision.total_linear_tokens();
+    let mut prefill_chunks = b0.prefill_chunks();
+    prefill_chunks.extend(b1.prefill_chunks());
+
+    // Compute stage: one fused batch — streamed attention runs on the GPU.
+    let tl = cost.linear_time(total_tokens);
+    let tga = cost.gpu_attn_time(
+        &prefill_chunks,
+        gpu_decode_ctx + streamed_ctx,
+        gpu_decode_reqs + streamed_reqs,
+    );
+    let compute_per_layer = tl + tga;
+
+    // Transfer stage: stream cached KV in, write fresh streamed KV (one token per
+    // streamed request) and CPU-targeted prefill KV out, plus whole-sequence swaps.
+    let prefill_swap_tokens = b0.swap_out_tokens() + b1.swap_out_tokens();
+    let transfer_per_layer = cost.swap_in_time(streamed_ctx)
+        + cost.swap_in_time(whole_swap_in_tokens)
+        + cost.swap_out_time(streamed_reqs)
+        + cost.swap_out_time(prefill_swap_tokens)
+        + cost.swap_out_time(whole_swap_out_tokens);
+
+    let pipeline_time =
+        neo_sim::transfer::double_buffered_time(layers, compute_per_layer, transfer_per_layer);
+    let exposed_swap =
+        neo_sim::transfer::double_buffered_exposed(layers, compute_per_layer, transfer_per_layer);
+
+    let batch_size = decision.batch_size();
+    let pre_post = cost.pre_post_time(total_tokens, batch_size);
+
+    IterationEstimate {
+        total_time: pipeline_time + pre_post,
+        batch_size,
+        gpu_busy_per_layer: compute_per_layer,
+        cpu_busy_per_layer: 0.0,
+        bubble_per_layer: (transfer_per_layer - compute_per_layer).max(0.0),
+        exposed_swap_time: exposed_swap,
+    }
+}
+
 /// Estimates a decision in whichever mode it selects.
 pub fn estimate_decision(
     cost: &dyn IterationCost,
@@ -192,6 +278,9 @@ pub fn estimate_decision(
             whole_swap_in_tokens,
             layerwise_overlap,
         ),
+        ExecutionMode::Streamed => {
+            estimate_streamed(cost, decision, whole_swap_out_tokens, whole_swap_in_tokens)
+        }
     }
 }
 
@@ -335,6 +424,51 @@ mod tests {
     }
 
     #[test]
+    fn streamed_transfer_hides_until_the_pipeline_is_transfer_bound() {
+        let cm = cost();
+        // A short-context streamed batch: KV streaming hides behind the linear stage.
+        let short: Vec<(u64, usize)> = (0..16).map(|i| (i, 100)).collect();
+        let mk = |cpu: &[(u64, usize)]| ScheduleDecision {
+            mode: ExecutionMode::Streamed,
+            batch0: decode_batch(&[], cpu),
+            batch1: SubBatch::new(),
+            swap_out: vec![],
+            swap_in: vec![],
+            preempt: vec![],
+        };
+        let hidden = estimate_streamed(&cm, &mk(&short), 0, 0);
+        // A long-context streamed batch: the PCIe link re-carries far more KV per layer
+        // than the compute stage lasts, so exposure grows sharply.
+        let long: Vec<(u64, usize)> = (0..16).map(|i| (i, 4000)).collect();
+        let bound = estimate_streamed(&cm, &mk(&long), 0, 0);
+        assert!(hidden.exposed_swap_time < bound.exposed_swap_time);
+        assert!(bound.bubble_per_layer > 0.0, "long contexts must be transfer-bound");
+        assert!(bound.total_time > hidden.total_time);
+        // Streamed attention runs on the GPU: no CPU busy time in either estimate.
+        assert_eq!(hidden.cpu_busy_per_layer, 0.0);
+        assert_eq!(bound.cpu_busy_per_layer, 0.0);
+    }
+
+    #[test]
+    fn streamed_estimate_counts_both_sub_batches() {
+        let cm = cost();
+        let d = ScheduleDecision {
+            mode: ExecutionMode::Streamed,
+            batch0: decode_batch(&[(1, 300)], &[(2, 500)]),
+            batch1: decode_batch(&[], &[(3, 400)]),
+            swap_out: vec![],
+            swap_in: vec![],
+            preempt: vec![],
+        };
+        let est = estimate_streamed(&cm, &d, 0, 0);
+        assert_eq!(est.batch_size, 3);
+        assert!(est.total_time > 0.0 && est.gpu_busy_per_layer > 0.0);
+        // Whole-sequence swap traffic adds to the streamed pipeline's transfer stage.
+        let with_swaps = estimate_streamed(&cm, &d, 2000, 2000);
+        assert!(with_swaps.total_time > est.total_time);
+    }
+
+    #[test]
     fn estimate_decision_dispatches_on_mode() {
         let cm = cost();
         let gpu: Vec<(u64, usize)> = (0..8).map(|i| (i, 300)).collect();
@@ -349,6 +483,8 @@ mod tests {
         let a = estimate_decision(&cm, &d, 0, 0, true);
         d.mode = ExecutionMode::Asymmetric;
         let b = estimate_decision(&cm, &d, 0, 0, true);
-        assert!(a.total_time > 0.0 && b.total_time > 0.0);
+        d.mode = ExecutionMode::Streamed;
+        let c = estimate_decision(&cm, &d, 0, 0, true);
+        assert!(a.total_time > 0.0 && b.total_time > 0.0 && c.total_time > 0.0);
     }
 }

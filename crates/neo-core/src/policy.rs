@@ -1,0 +1,385 @@
+//! The pluggable scheduler-policy seam.
+//!
+//! Every scheduling policy in this workspace — NEO itself and each baseline in
+//! `neo-baselines` — is expressed as a [`SchedulerPolicy`]: a per-iteration pipeline of
+//! three phases over a mutable [`IterationPlan`], followed by a mode-selection step that
+//! turns the plan into the [`ScheduleDecision`] the engine executes:
+//!
+//! 1. **Batch formation** ([`SchedulerPolicy::form_batches`]) — place the already-running
+//!    decode requests into the sub-batches, deciding any whole-sequence swaps or
+//!    preemptions needed to make their new KV slots fit.
+//! 2. **Admission** ([`SchedulerPolicy::admit`]) — pull prefill chunks from the waitqueue
+//!    under the iteration token budget and pick the device their KV will land on.
+//! 3. **Offload split** ([`SchedulerPolicy::split_offload`]) — decide which decodes run
+//!    off-GPU this iteration and how they distribute over the two sub-batches (NEO's
+//!    balancing inequalities, SpecOffload's speculative expansion, …). Policies with a
+//!    static split (GPU-only, FastDecode+, PIPO) leave the default no-op.
+//! 4. **Mode selection** ([`SchedulerPolicy::select_mode`]) — choose the execution mode
+//!    and emit the final decision (NEO's greedy asymmetric-vs-GPU-only choice lives
+//!    here); the default passes the plan through unchanged.
+//!
+//! A blanket `impl<P: SchedulerPolicy> Scheduler for P` drives the phases in order, so
+//! any policy plugs into [`crate::Engine`] unchanged — adding a new baseline is
+//! implementing this trait, nothing else. The phase decomposition is what the
+//! scheduler-equivalence tests in `tests/scheduler_policy.rs` pin down.
+
+use neo_kvcache::Device;
+
+use crate::batch::{PrefillItem, ScheduleDecision, SubBatch};
+use crate::scheduler::{ScheduleContext, Scheduler};
+use crate::ExecutionMode;
+
+/// The mutable working state a policy's phases build an iteration schedule in.
+///
+/// Mirrors the fields of the final [`ScheduleDecision`] plus running free-token counters
+/// for both KV pools, so each phase sees the memory consequences of the phases before it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationPlan {
+    /// Execution mode the decision will carry (defaults to [`ExecutionMode::GpuOnly`]).
+    pub mode: ExecutionMode,
+    /// Batch-0 (GPU-heavy sub-batch; the only one that may carry prefills).
+    pub batch0: SubBatch,
+    /// Batch-1 (CPU-heavy sub-batch).
+    pub batch1: SubBatch,
+    /// Whole-sequence GPU→CPU swaps to apply before the iteration.
+    pub swap_out: Vec<u64>,
+    /// Whole-sequence CPU→GPU swaps to apply before the iteration.
+    pub swap_in: Vec<u64>,
+    /// Requests to preempt (KV discarded, re-queued for recomputation).
+    pub preempt: Vec<u64>,
+    /// Free tokens remaining in the GPU KV pool, net of this plan's claims. Signed so
+    /// phases can detect (and then resolve) overcommitment.
+    pub gpu_free: i64,
+    /// Free tokens remaining in the CPU KV pool, net of this plan's claims.
+    pub cpu_free: i64,
+}
+
+impl IterationPlan {
+    /// Creates an empty plan whose free-token counters start from the context's pools.
+    pub fn new(ctx: &ScheduleContext<'_>) -> Self {
+        Self {
+            mode: ExecutionMode::GpuOnly,
+            batch0: SubBatch::new(),
+            batch1: SubBatch::new(),
+            swap_out: Vec::new(),
+            swap_in: Vec::new(),
+            preempt: Vec::new(),
+            gpu_free: ctx.gpu_free_tokens as i64,
+            cpu_free: ctx.cpu_free_tokens as i64,
+        }
+    }
+
+    /// Remaining new-token budget of batch-0 under the configured per-iteration cap.
+    pub fn token_budget(&self, ctx: &ScheduleContext<'_>) -> usize {
+        ctx.config.max_batch_tokens.saturating_sub(self.batch0.linear_tokens())
+    }
+
+    /// Sequences currently scheduled across both sub-batches.
+    pub fn sequences(&self) -> usize {
+        self.batch0.sequences() + self.batch1.sequences()
+    }
+
+    /// Admits prefill chunks from the waitqueue into batch-0 under the iteration token
+    /// budget, charging the free-token counters as it goes.
+    ///
+    /// `target_for` is asked, per candidate, where the chunk's KV should land given the
+    /// plan so far and the chunk size; returning `None` stops admission (the policy's
+    /// budget or memory rule fired). Chunks are capped at
+    /// [`crate::EngineConfig::prefill_chunk`]; partially prefilled requests keep arriving
+    /// until their prompt is done. Policies with bespoke admission rules (e.g. the
+    /// SwiftLLM-like whole-prompt baseline) write their own loop instead.
+    pub fn admit_prefills(
+        &mut self,
+        ctx: &ScheduleContext<'_>,
+        mut target_for: impl FnMut(&Self, u64, usize) -> Option<Device>,
+    ) {
+        let cfg = ctx.config;
+        let mut token_budget = self.token_budget(ctx);
+        for &id in ctx.waiting {
+            if token_budget == 0 || self.batch0.sequences() >= cfg.max_batch_seqs {
+                break;
+            }
+            let remaining = ctx.remaining_prefill(id);
+            if remaining == 0 {
+                continue;
+            }
+            let chunk = remaining.min(token_budget).min(cfg.prefill_chunk.max(1));
+            let Some(target) = target_for(self, id, chunk) else { break };
+            match target {
+                Device::Gpu => self.gpu_free -= chunk as i64,
+                Device::Cpu => self.cpu_free -= chunk as i64,
+            }
+            let already = ctx.requests[&id].prefilled;
+            self.batch0.prefills.push(PrefillItem {
+                req: id,
+                new_tokens: chunk,
+                ctx_after: already + chunk,
+                target,
+            });
+            token_budget -= chunk;
+        }
+    }
+
+    /// GPU-first decode batch formation (step 2 of §3.2), shared by `NeoScheduler` and
+    /// the SpecOffload baseline: every GPU-resident decode claims one new KV slot in
+    /// batch-0. Under memory pressure the longest-context requests are swapped out to
+    /// the host cache (or preempted entirely when the CPU cache is full too); with free
+    /// memory above [`crate::EngineConfig::swap_in_watermark`], CPU-resident requests
+    /// are pulled back to the GPU, smallest context first, and decode from batch-0 this
+    /// iteration.
+    pub fn form_gpu_first_batches(&mut self, ctx: &ScheduleContext<'_>) {
+        let cfg = ctx.config;
+        let gpu_capacity = ctx.gpu_free_tokens; // free tokens we may still claim
+
+        let mut gpu_decodes: Vec<(u64, usize)> =
+            ctx.gpu_run.iter().map(|&id| (id, ctx.context_len(id))).collect();
+        self.gpu_free -= gpu_decodes.len() as i64;
+
+        if self.gpu_free < 0 {
+            // Swap out the longest-context requests until the new tokens fit; their KV
+            // moves to the CPU cache and they decode on the CPU this iteration.
+            gpu_decodes.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            while self.gpu_free < 0 {
+                let Some((id, c)) = gpu_decodes.first().copied() else { break };
+                gpu_decodes.remove(0);
+                if self.cpu_free < (c + 1) as i64 {
+                    // The CPU cache cannot hold it either: preempt the request entirely
+                    // (vLLM-style recompute later) so the rest of the batch can progress.
+                    self.preempt.push(id);
+                } else {
+                    self.swap_out.push(id);
+                    self.cpu_free -= (c + 1) as i64;
+                }
+                // Its block reservation (c tokens) and its new-token slot are returned.
+                self.gpu_free += (c + 1) as i64;
+            }
+        } else {
+            // Ample space: swap CPU-requests back to the GPU, smallest context first.
+            let watermark = (cfg.swap_in_watermark * gpu_capacity as f64) as i64;
+            if self.gpu_free > watermark {
+                let mut candidates: Vec<(u64, usize)> =
+                    ctx.cpu_run.iter().map(|&id| (id, ctx.context_len(id))).collect();
+                candidates.sort_by_key(|&(_, c)| c);
+                for (id, c) in candidates {
+                    if self.gpu_free - (c + 1) as i64 <= watermark {
+                        break;
+                    }
+                    self.swap_in.push(id);
+                    self.gpu_free -= (c + 1) as i64;
+                    self.cpu_free += c as i64;
+                    // Swapped-in requests decode from the GPU cache this iteration.
+                    gpu_decodes.push((id, c));
+                }
+            }
+        }
+        self.batch0.gpu_decodes = gpu_decodes;
+    }
+
+    /// Finalises the plan into the decision the engine will execute.
+    pub fn into_decision(self) -> ScheduleDecision {
+        ScheduleDecision {
+            mode: self.mode,
+            batch0: self.batch0,
+            batch1: self.batch1,
+            swap_out: self.swap_out,
+            swap_in: self.swap_in,
+            preempt: self.preempt,
+        }
+    }
+}
+
+/// A per-iteration scheduling policy, decomposed into the phases every policy shares.
+///
+/// Implementing this trait is all a new scheduler needs: the blanket
+/// [`Scheduler`] impl drives the phases and the engine, serving drivers, and figure
+/// harnesses consume the policy through `Box<dyn Scheduler>` as before.
+pub trait SchedulerPolicy: Send {
+    /// Human-readable policy name (used in reports and figures).
+    fn policy_name(&self) -> &'static str;
+
+    /// Phase 1 — batch formation: place running decode requests, decide swaps and
+    /// preemptions needed to fit their new KV slots.
+    fn form_batches(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan);
+
+    /// Phase 2 — admission: pull prefill chunks from the waitqueue under the token
+    /// budget and choose the device their KV lands on.
+    fn admit(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan);
+
+    /// Phase 3 — offload split: decide which decodes run off-GPU and how they spread
+    /// over the sub-batches. Default: keep the split from phase 1 (static policies).
+    fn split_offload(&mut self, _ctx: &ScheduleContext<'_>, _plan: &mut IterationPlan) {}
+
+    /// Phase 4 — mode selection: turn the finished plan into the decision, picking the
+    /// execution mode. Default: emit the plan as-is.
+    fn select_mode(&mut self, _ctx: &ScheduleContext<'_>, plan: IterationPlan) -> ScheduleDecision {
+        plan.into_decision()
+    }
+}
+
+impl<P: SchedulerPolicy> Scheduler for P {
+    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
+        let mut plan = IterationPlan::new(ctx);
+        self.form_batches(ctx, &mut plan);
+        self.admit(ctx, &mut plan);
+        self.split_offload(ctx, &mut plan);
+        let decision = self.select_mode(ctx, plan);
+        if decision.is_idle() {
+            ScheduleDecision::idle()
+        } else {
+            decision
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.policy_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::request::Request;
+    use neo_sim::{CostModel, ModelDesc, Testbed};
+    use std::collections::HashMap;
+
+    /// A minimal policy used to exercise the phase driver: admits prefills to the GPU and
+    /// decodes whatever runs there.
+    struct TrivialPolicy {
+        phases_seen: Vec<&'static str>,
+    }
+
+    impl SchedulerPolicy for TrivialPolicy {
+        fn policy_name(&self) -> &'static str {
+            "trivial"
+        }
+        fn form_batches(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+            self.phases_seen.push("form");
+            for &id in ctx.gpu_run {
+                plan.batch0.gpu_decodes.push((id, ctx.context_len(id)));
+                plan.gpu_free -= 1;
+            }
+        }
+        fn admit(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+            self.phases_seen.push("admit");
+            plan.admit_prefills(ctx, |plan, _id, chunk| {
+                (plan.gpu_free >= chunk as i64).then_some(Device::Gpu)
+            });
+        }
+        fn split_offload(&mut self, _ctx: &ScheduleContext<'_>, _plan: &mut IterationPlan) {
+            self.phases_seen.push("split");
+        }
+    }
+
+    struct Fixture {
+        requests: HashMap<u64, Request>,
+        waiting: Vec<u64>,
+        gpu_run: Vec<u64>,
+        cpu_run: Vec<u64>,
+        prefill_device: HashMap<u64, Device>,
+        config: EngineConfig,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Self {
+                requests: HashMap::new(),
+                waiting: vec![],
+                gpu_run: vec![],
+                cpu_run: vec![],
+                prefill_device: HashMap::new(),
+                config: EngineConfig::default(),
+            }
+        }
+
+        fn ctx<'a>(&'a self, cost: &'a CostModel) -> ScheduleContext<'a> {
+            ScheduleContext {
+                cost,
+                config: &self.config,
+                requests: &self.requests,
+                waiting: &self.waiting,
+                gpu_run: &self.gpu_run,
+                cpu_run: &self.cpu_run,
+                gpu_free_tokens: 10_000,
+                cpu_free_tokens: 100_000,
+                prefill_device: &self.prefill_device,
+                admission_backlog: 0,
+            }
+        }
+    }
+
+    fn cost() -> CostModel {
+        CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1)
+    }
+
+    #[test]
+    fn driver_runs_phases_in_order() {
+        let mut fx = Fixture::new();
+        fx.requests.insert(1, Request::new(1, 0.0, 200, 10));
+        fx.waiting.push(1);
+        let cm = cost();
+        let mut p = TrivialPolicy { phases_seen: vec![] };
+        let d = p.schedule(&fx.ctx(&cm));
+        assert_eq!(p.phases_seen, vec!["form", "admit", "split"]);
+        assert_eq!(d.batch0.prefills.len(), 1);
+        assert_eq!(Scheduler::name(&p), "trivial");
+    }
+
+    #[test]
+    fn empty_plan_normalises_to_idle() {
+        let fx = Fixture::new();
+        let cm = cost();
+        let mut p = TrivialPolicy { phases_seen: vec![] };
+        let d = p.schedule(&fx.ctx(&cm));
+        assert!(d.is_idle());
+        assert_eq!(d, ScheduleDecision::idle());
+    }
+
+    #[test]
+    fn admit_prefills_respects_budget_and_charges_memory() {
+        let mut fx = Fixture::new();
+        fx.config.max_batch_tokens = 600;
+        fx.config.prefill_chunk = 512;
+        for id in 0..4 {
+            fx.requests.insert(id, Request::new(id, 0.0, 500, 10));
+            fx.waiting.push(id);
+        }
+        let cm = cost();
+        let ctx = fx.ctx(&cm);
+        let mut plan = IterationPlan::new(&ctx);
+        plan.admit_prefills(&ctx, |_, _, _| Some(Device::Gpu));
+        assert!(plan.batch0.linear_tokens() <= 600);
+        assert_eq!(plan.gpu_free, 10_000 - plan.batch0.linear_tokens() as i64);
+    }
+
+    #[test]
+    fn admit_prefills_stops_when_target_declines() {
+        let mut fx = Fixture::new();
+        for id in 0..3 {
+            fx.requests.insert(id, Request::new(id, 0.0, 100, 10));
+            fx.waiting.push(id);
+        }
+        let cm = cost();
+        let ctx = fx.ctx(&cm);
+        let mut plan = IterationPlan::new(&ctx);
+        let mut admitted = 0;
+        plan.admit_prefills(&ctx, |_, _, _| {
+            admitted += 1;
+            (admitted <= 2).then_some(Device::Cpu)
+        });
+        assert_eq!(plan.batch0.prefills.len(), 2);
+        assert_eq!(plan.cpu_free, 100_000 - 200);
+    }
+
+    #[test]
+    fn plan_tracks_token_budget() {
+        let fx = Fixture::new();
+        let cm = cost();
+        let ctx = fx.ctx(&cm);
+        let mut plan = IterationPlan::new(&ctx);
+        assert_eq!(plan.token_budget(&ctx), fx.config.max_batch_tokens);
+        plan.batch0.gpu_decodes.push((9, 100));
+        assert_eq!(plan.token_budget(&ctx), fx.config.max_batch_tokens - 1);
+        assert_eq!(plan.sequences(), 1);
+    }
+}

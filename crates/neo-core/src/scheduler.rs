@@ -15,18 +15,21 @@
 //! 6. build the GPU-only alternative (batch-0 without the CPU decodes added in step 4) and
 //!    greedily pick whichever schedule has the higher estimated throughput (*Greedy*).
 //!
-//! The same [`Scheduler`] trait is implemented by the baselines in `neo-baselines`
-//! (vLLM-like, SwiftLLM-like, FastDecode+, and the strawmen), so every policy runs inside
-//! the identical engine.
+//! `NeoScheduler` — like every baseline in `neo-baselines` — is written as a
+//! [`SchedulerPolicy`] (the phase-decomposed policy seam in [`crate::policy`]): the six
+//! steps map onto the trait's phases as batch formation (step 2), admission (step 3),
+//! offload split (steps 4–5) and mode selection (step 6). The blanket impl turns any
+//! policy into a [`Scheduler`], which is the engine-facing object-safe interface.
 
 use std::collections::HashMap;
 
 use neo_kvcache::Device;
 use neo_sim::profiler::IterationCost;
 
-use crate::batch::{PrefillItem, ScheduleDecision, SubBatch};
+use crate::batch::{ScheduleDecision, SubBatch};
 use crate::config::EngineConfig;
-use crate::pipeline::{estimate_asymmetric, estimate_gpu_only, stage_times};
+use crate::pipeline::{balanced, estimate_asymmetric, estimate_gpu_only};
+use crate::policy::{IterationPlan, SchedulerPolicy};
 use crate::request::Request;
 use crate::ExecutionMode;
 
@@ -109,163 +112,85 @@ impl NeoScheduler {
     }
 }
 
-/// Internal helper: the balancing inequalities of step 4, with slack.
-fn balanced(cost: &dyn IterationCost, batch0: &SubBatch, batch1: &SubBatch, slack: f64) -> bool {
-    let s0 = stage_times(cost, batch0);
-    let s1 = stage_times(cost, batch1);
-    let tol = 1.0 + slack;
-    s1.tca <= s0.tl * tol && s0.tca <= (s1.tl + s0.tga) * tol
-}
+impl SchedulerPolicy for NeoScheduler {
+    fn policy_name(&self) -> &'static str {
+        "neo"
+    }
 
-impl Scheduler for NeoScheduler {
-    fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
+    /// Step 2 of §3.2: schedule GPU decode requests; each needs one new KV slot on the
+    /// GPU. Under pressure the longest-context requests are swapped out (or preempted
+    /// when the CPU cache is full too); with ample free memory CPU-requests are pulled
+    /// back in, smallest context first. The mechanics are
+    /// [`IterationPlan::form_gpu_first_batches`], shared with the SpecOffload baseline.
+    fn form_batches(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
         self.iterations += 1;
-        let cost = ctx.cost;
-        let cfg = ctx.config;
+        plan.form_gpu_first_batches(ctx);
+    }
 
-        // Step 1: two empty schedules.
-        let mut batch0 = SubBatch::new();
-        let mut batch1 = SubBatch::new();
-        let mut swap_out: Vec<u64> = Vec::new();
-        let mut swap_in: Vec<u64> = Vec::new();
-        let mut preempt: Vec<u64> = Vec::new();
-
-        let gpu_capacity = ctx.gpu_free_tokens; // free tokens we may still claim
-        let mut gpu_free = gpu_capacity as i64;
-        let mut cpu_free = ctx.cpu_free_tokens as i64;
-
-        // Step 2: schedule GPU decode requests; each needs one new KV slot on the GPU.
-        let mut gpu_decodes: Vec<(u64, usize)> =
-            ctx.gpu_run.iter().map(|&id| (id, ctx.context_len(id))).collect();
-        gpu_free -= gpu_decodes.len() as i64;
-
-        if gpu_free < 0 {
-            // Swap out the longest-context requests until the new tokens fit; their KV
-            // moves to the CPU cache and they decode on the CPU this iteration.
-            gpu_decodes.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-            while gpu_free < 0 {
-                let Some((id, c)) = gpu_decodes.first().copied() else { break };
-                if cpu_free < (c + 1) as i64 {
-                    // The CPU cache cannot hold it either: preempt the request entirely
-                    // (vLLM-style recompute later) so the rest of the batch can progress.
-                    gpu_decodes.remove(0);
-                    preempt.push(id);
-                    gpu_free += (c + 1) as i64;
-                    continue;
-                }
-                gpu_decodes.remove(0);
-                swap_out.push(id);
-                cpu_free -= (c + 1) as i64;
-                // Its block reservation (c tokens) and its new-token slot are returned.
-                gpu_free += (c + 1) as i64;
-            }
-        } else {
-            // Ample space: swap CPU-requests back to the GPU, smallest context first.
-            let watermark = (cfg.swap_in_watermark * gpu_capacity as f64) as i64;
-            if gpu_free > watermark {
-                let mut candidates: Vec<(u64, usize)> =
-                    ctx.cpu_run.iter().map(|&id| (id, ctx.context_len(id))).collect();
-                candidates.sort_by_key(|&(_, c)| c);
-                for (id, c) in candidates {
-                    if gpu_free - (c + 1) as i64 <= watermark {
-                        break;
-                    }
-                    swap_in.push(id);
-                    gpu_free -= (c + 1) as i64;
-                    cpu_free += c as i64;
-                }
-            }
-        }
-        // Swapped-out requests will decode from the CPU cache; swapped-in ones from GPU.
-        let swapped_out_set: Vec<u64> = swap_out.clone();
-        for &id in &swap_in {
-            gpu_decodes.push((id, ctx.context_len(id)));
-        }
-        batch0.gpu_decodes = gpu_decodes;
-
-        // Step 3: admit prefill requests into batch-0 under the token budget.
-        let mut token_budget = cfg.max_batch_tokens.saturating_sub(batch0.linear_tokens());
-        for &id in ctx.waiting {
-            if token_budget == 0 || batch0.sequences() >= cfg.max_batch_seqs {
-                break;
-            }
-            let remaining = ctx.remaining_prefill(id);
-            if remaining == 0 {
-                continue;
-            }
-            let chunk = remaining.min(token_budget).min(cfg.prefill_chunk.max(1));
-            let already = ctx.requests[&id].prefilled;
-            let ctx_after = already + chunk;
-
-            // Keep the generated KV on the GPU when it fits, otherwise mark it for the
-            // CPU cache (layer-wise swap-out). Partially prefilled requests must stay on
-            // whichever device their earlier chunks landed on.
+    /// Step 3: admit prefill requests into batch-0 under the token budget. The generated
+    /// KV stays on the GPU when it fits, otherwise it is marked for the CPU cache
+    /// (layer-wise swap-out); partially prefilled requests must stay on whichever device
+    /// their earlier chunks landed on.
+    fn admit(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        plan.admit_prefills(ctx, |plan, id, chunk| {
             let target = match ctx.prefill_device.get(&id) {
                 Some(&d) => d,
-                None if gpu_free >= chunk as i64 => Device::Gpu,
+                None if plan.gpu_free >= chunk as i64 => Device::Gpu,
                 None => Device::Cpu,
             };
             match target {
-                Device::Gpu => {
-                    if gpu_free < chunk as i64 {
-                        break; // no room to continue this request's GPU prefill
-                    }
-                    gpu_free -= chunk as i64;
-                }
-                Device::Cpu => {
-                    if cpu_free < chunk as i64 {
-                        break;
-                    }
-                    cpu_free -= chunk as i64;
-                }
+                // No room to continue this request's prefill on its device: stop.
+                Device::Gpu if plan.gpu_free >= chunk as i64 => Some(Device::Gpu),
+                Device::Cpu if plan.cpu_free >= chunk as i64 => Some(Device::Cpu),
+                _ => None,
             }
-            batch0.prefills.push(PrefillItem { req: id, new_tokens: chunk, ctx_after, target });
-            token_budget -= chunk;
-        }
+        });
+    }
 
-        // Step 4: place CPU decode requests while the balancing inequalities hold.
+    /// Steps 4 and 5: place CPU decode requests while the balancing inequalities hold,
+    /// then shed prefill chunks that force swap-outs while balance keeps holding.
+    fn split_offload(&mut self, ctx: &ScheduleContext<'_>, plan: &mut IterationPlan) {
+        let cost = ctx.cost;
+        let cfg = ctx.config;
+
+        // Step 4: CPU-resident candidates (minus swapped-in, plus freshly swapped-out).
         let mut cpu_candidates: Vec<(u64, usize)> = ctx
             .cpu_run
             .iter()
-            .filter(|id| !swap_in.contains(id))
+            .filter(|id| !plan.swap_in.contains(id))
             .map(|&id| (id, ctx.context_len(id)))
             .collect();
-        cpu_candidates.extend(swapped_out_set.iter().map(|&id| (id, ctx.context_len(id))));
+        cpu_candidates.extend(plan.swap_out.iter().map(|&id| (id, ctx.context_len(id))));
         cpu_candidates.sort_by_key(|&(_, c)| c);
 
-        let mut step4_batch0: Vec<u64> = Vec::new();
-        let mut step4_batch1: Vec<u64> = Vec::new();
         // Degenerate case: nothing at all runs on the GPU this iteration (no prefills, no
         // GPU decodes). The balancing inequalities would then forbid every CPU decode
         // (`Tca ≤ Tl0 = 0`), starving CPU-resident requests forever; run them as a plain
         // CPU batch instead — there is no GPU work to hide them behind anyway.
-        if batch0.is_empty() && !cpu_candidates.is_empty() {
+        if plan.batch0.is_empty() && !cpu_candidates.is_empty() {
             for (id, c) in cpu_candidates.drain(..) {
-                if batch1.sequences() >= cfg.max_batch_seqs {
+                if plan.batch1.sequences() >= cfg.max_batch_seqs {
                     break;
                 }
-                batch1.cpu_decodes.push((id, c));
-                step4_batch1.push(id);
+                plan.batch1.cpu_decodes.push((id, c));
             }
         }
         for (id, c) in cpu_candidates {
-            if batch0.sequences() + batch1.sequences() >= 2 * cfg.max_batch_seqs {
+            if plan.batch0.sequences() + plan.batch1.sequences() >= 2 * cfg.max_batch_seqs {
                 break;
             }
             // Try batch-1 first (it exists to absorb CPU attention under Tl0's shadow).
-            batch1.cpu_decodes.push((id, c));
-            if balanced(cost, &batch0, &batch1, cfg.balance_slack) {
-                step4_batch1.push(id);
+            plan.batch1.cpu_decodes.push((id, c));
+            if balanced(cost, &plan.batch0, &plan.batch1, cfg.balance_slack) {
                 continue;
             }
-            batch1.cpu_decodes.pop();
+            plan.batch1.cpu_decodes.pop();
 
-            batch0.cpu_decodes.push((id, c));
-            if balanced(cost, &batch0, &batch1, cfg.balance_slack) {
-                step4_batch0.push(id);
+            plan.batch0.cpu_decodes.push((id, c));
+            if balanced(cost, &plan.batch0, &plan.batch1, cfg.balance_slack) {
                 continue;
             }
-            batch0.cpu_decodes.pop();
+            plan.batch0.cpu_decodes.pop();
             // Violates both inequalities: leave it for the next iteration (Hiding CPU).
         }
 
@@ -274,32 +199,33 @@ impl Scheduler for NeoScheduler {
         // are scheduled, a CPU-targeted prefill is the only way the request can make
         // progress under GPU memory pressure and must not be shed (otherwise it would
         // starve forever).
-        let has_cpu_work = !batch0.cpu_decodes.is_empty() || !batch1.cpu_decodes.is_empty();
+        let has_cpu_work =
+            !plan.batch0.cpu_decodes.is_empty() || !plan.batch1.cpu_decodes.is_empty();
         if has_cpu_work {
-            while let Some(pos) = batch0.prefills.iter().rposition(|p| p.target == Device::Cpu) {
-                let removed = batch0.prefills.remove(pos);
-                if balanced(cost, &batch0, &batch1, cfg.balance_slack) {
+            while let Some(pos) = plan.batch0.prefills.iter().rposition(|p| p.target == Device::Cpu)
+            {
+                let removed = plan.batch0.prefills.remove(pos);
+                if balanced(cost, &plan.batch0, &plan.batch1, cfg.balance_slack) {
                     continue; // removal kept the pipeline balanced; keep it removed
                 }
                 // Removing it unbalanced the pipeline (the CPU work no longer hides behind
                 // the linear stage): put it back and stop shedding.
-                batch0.prefills.insert(pos, removed);
+                plan.batch0.prefills.insert(pos, removed);
                 break;
             }
         }
+    }
 
-        // Step 6: greedy choice between asymmetric and GPU-only schedules.
-        let swap_out_tokens: usize = swap_out.iter().map(|&id| ctx.context_len(id)).sum();
-        let swap_in_tokens: usize = swap_in.iter().map(|&id| ctx.context_len(id)).sum();
+    /// Step 6: greedy choice between the asymmetric and GPU-only schedules by estimated
+    /// throughput.
+    fn select_mode(&mut self, ctx: &ScheduleContext<'_>, plan: IterationPlan) -> ScheduleDecision {
+        let cost = ctx.cost;
+        let cfg = ctx.config;
+        let swap_out_tokens: usize = plan.swap_out.iter().map(|&id| ctx.context_len(id)).sum();
+        let swap_in_tokens: usize = plan.swap_in.iter().map(|&id| ctx.context_len(id)).sum();
 
-        let asym = ScheduleDecision {
-            mode: ExecutionMode::Asymmetric,
-            batch0: batch0.clone(),
-            batch1: batch1.clone(),
-            swap_out: swap_out.clone(),
-            swap_in: swap_in.clone(),
-            preempt: preempt.clone(),
-        };
+        let mut asym = plan.into_decision();
+        asym.mode = ExecutionMode::Asymmetric;
         let asym_est = estimate_asymmetric(
             cost,
             &asym,
@@ -309,15 +235,15 @@ impl Scheduler for NeoScheduler {
         );
 
         // GPU-only alternative: batch-0 without the CPU decodes added in step 4.
-        let mut gpu_only_batch0 = batch0.clone();
+        let mut gpu_only_batch0 = asym.batch0.clone();
         gpu_only_batch0.cpu_decodes.clear();
         let gpu_only = ScheduleDecision {
             mode: ExecutionMode::GpuOnly,
             batch0: gpu_only_batch0,
             batch1: SubBatch::new(),
-            swap_out,
-            swap_in,
-            preempt,
+            swap_out: asym.swap_out.clone(),
+            swap_in: asym.swap_in.clone(),
+            preempt: asym.preempt.clone(),
         };
         let gpu_est = estimate_gpu_only(
             cost,
@@ -327,22 +253,18 @@ impl Scheduler for NeoScheduler {
             cfg.layerwise_swap_overlap,
         );
 
-        let decision = if asym_est.throughput() > gpu_est.throughput() { asym } else { gpu_only };
-        if decision.is_idle() {
-            ScheduleDecision::idle()
+        if asym_est.throughput() > gpu_est.throughput() {
+            asym
         } else {
-            decision
+            gpu_only
         }
-    }
-
-    fn name(&self) -> &'static str {
-        "neo"
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::stage_times;
     use neo_sim::{CostModel, ModelDesc, Testbed};
 
     fn cost() -> CostModel {

@@ -145,6 +145,29 @@ mod tests {
     }
 
     #[test]
+    fn offload_family_drains_the_same_trace() {
+        // The pipelined-offloading baselines run through the identical driver: every
+        // policy drains the trace, and PIPO's offload fraction is total (its KV never
+        // lives on the GPU) while SpecOffload's is partial (it serves GPU-first and only
+        // speculates CPU work under pressure).
+        use neo_baselines::{PipoScheduler, SpecOffloadScheduler};
+        let trace = synthetic(48, 300, 40, ArrivalProcess::AllAtOnce, 9);
+        let cost = || CostModel::new(ModelDesc::llama2_7b(), Testbed::g4dn_4xlarge(), 1);
+
+        let pipo_engine =
+            Engine::new(cost(), EngineConfig::default(), Box::new(PipoScheduler::new()));
+        let pipo = run_offline(pipo_engine, &trace, 5_000_000);
+        assert_eq!(pipo.completed, 48);
+        assert!(pipo.offload_fraction > 0.9, "PIPO decodes are always offloaded");
+
+        let spec_engine =
+            Engine::new(cost(), EngineConfig::default(), Box::new(SpecOffloadScheduler::new()));
+        let spec = run_offline(spec_engine, &trace, 5_000_000);
+        assert_eq!(spec.completed, 48);
+        assert!(spec.offload_fraction > 0.0, "memory pressure must trigger speculation");
+    }
+
+    #[test]
     #[should_panic(expected = "empty trace")]
     fn empty_trace_panics() {
         let _ = run_offline(a10g_engine(false), &Trace::default(), 100);

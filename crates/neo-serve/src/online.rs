@@ -169,6 +169,25 @@ mod tests {
     }
 
     #[test]
+    fn offload_family_serves_online_traffic() {
+        // The event-driven serving loop is policy-agnostic: the pipelined-offloading
+        // baselines stream tokens, report TTFT/ITL and drain the trace like any other.
+        use neo_baselines::{PipoScheduler, SpecOffloadScheduler};
+        let trace = small_trace(1.0);
+        let schedulers: [Box<dyn neo_core::Scheduler>; 2] =
+            [Box::new(PipoScheduler::new()), Box::new(SpecOffloadScheduler::new())];
+        for sched in schedulers {
+            let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+            let engine = Engine::new(cost, EngineConfig::default(), sched);
+            let result = run_online(engine, &trace, 1.0, 5_000_000);
+            assert_eq!(result.completed, 40);
+            assert!(result.ttft.mean > 0.0);
+            assert!(result.decode_throughput > 0.0);
+            assert!(!result.scheduler.is_empty());
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "empty trace")]
     fn empty_trace_panics() {
         let _ = run_online(engine(false), &Trace::default(), 1.0, 1000);

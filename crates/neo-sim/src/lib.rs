@@ -16,9 +16,12 @@
 //!   into the paper's iteration-time formula.
 //! * [`profiler`] — the offline-profiling + piecewise-linear-interpolation layer the paper's
 //!   load-aware scheduler uses instead of an exact analytical model (§3.2).
+//! * [`transfer`] — double-buffered transfer/compute overlap terms used by the
+//!   pipelined-offloading baselines (PIPO-style KV streaming) to reason about how much
+//!   PCIe traffic hides behind per-layer compute.
 //! * [`clock`] — a simulation clock and event trace used by the serving harness.
 //!
-//! # Example
+//! # Example: per-operator costs
 //!
 //! ```
 //! use neo_sim::hardware::Testbed;
@@ -34,6 +37,23 @@
 //! assert!(t > 0.0 && t.is_finite());
 //! ```
 //!
+//! # Example: transfer/compute overlap
+//!
+//! A double-buffered pipeline hides PCIe traffic behind compute until the per-stage
+//! transfer exceeds the per-stage compute, at which point the pipeline is transfer-bound:
+//!
+//! ```
+//! use neo_sim::transfer::{double_buffered_time, transfer_bound};
+//!
+//! let layers = 32;
+//! let compute = 1e-3; // seconds per layer
+//! // A hidden transfer costs only the pipeline fill...
+//! assert!(double_buffered_time(layers, compute, 0.5e-3) < layers as f64 * compute * 1.1);
+//! // ...while a transfer-bound pipeline runs at the DMA engine's pace.
+//! assert!(transfer_bound(compute, 2e-3));
+//! assert!(double_buffered_time(layers, compute, 2e-3) > layers as f64 * 2e-3);
+//! ```
+//!
 //! [Jiang et al., MLSys 2025]: https://arxiv.org/abs/2411.01142
 
 pub mod clock;
@@ -42,6 +62,7 @@ pub mod hardware;
 pub mod model_desc;
 pub mod profiler;
 pub mod roofline;
+pub mod transfer;
 
 pub use clock::SimClock;
 pub use costmodel::CostModel;

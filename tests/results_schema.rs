@@ -1,0 +1,84 @@
+//! Regeneration contract for the checked-in `results/` figure JSON.
+//!
+//! The fig8-family files are emitted by `cargo run --release -p neo-bench --bin
+//! fig8_fastdecode`; these tests pin the schema those files must keep (so plots built on
+//! them do not silently rot) and check that every policy label appearing in them maps
+//! back to a registered `SchedulerPolicy` via `neo_bench::Policy::from_label`.
+
+use std::path::PathBuf;
+
+use neo_bench::Policy;
+use serde::Deserialize;
+
+#[derive(Debug, Deserialize)]
+struct OnlinePoint {
+    policy: String,
+    rate: f64,
+    avg_per_token_latency: f64,
+    mean_ttft: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct OfflinePoint {
+    policy: String,
+    output_len: usize,
+    relative_throughput: f64,
+}
+
+fn results_file(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+fn assert_registered(policies: impl IntoIterator<Item = String>, file: &str) {
+    for label in policies {
+        let policy = Policy::from_label(&label)
+            .unwrap_or_else(|| panic!("{file}: policy {label:?} is not registered"));
+        // The registry entry must construct a live scheduler whose engine-facing name is
+        // non-empty — i.e. the label maps to a real SchedulerPolicy, not a stale string.
+        assert!(!policy.scheduler().name().is_empty());
+    }
+}
+
+#[test]
+fn fig8a_online_deserializes_and_policies_are_registered() {
+    let points: Vec<OnlinePoint> =
+        serde_json::from_str(&results_file("fig8a_online.json")).expect("valid fig8a JSON");
+    assert!(!points.is_empty());
+    for p in &points {
+        assert!(p.rate > 0.0);
+        assert!(p.avg_per_token_latency.is_finite() && p.avg_per_token_latency > 0.0);
+        assert!(p.mean_ttft.is_finite() && p.mean_ttft > 0.0);
+    }
+    assert_registered(points.into_iter().map(|p| p.policy), "fig8a_online.json");
+}
+
+#[test]
+fn fig8b_offline_deserializes_and_policies_are_registered() {
+    let points: Vec<OfflinePoint> =
+        serde_json::from_str(&results_file("fig8b_offline.json")).expect("valid fig8b JSON");
+    assert!(!points.is_empty());
+    for p in &points {
+        assert!(p.output_len > 0);
+        assert!(p.relative_throughput.is_finite() && p.relative_throughput > 0.0);
+    }
+    assert_registered(points.into_iter().map(|p| p.policy), "fig8b_offline.json");
+}
+
+#[test]
+fn fig8c_offload_family_deserializes_and_covers_the_new_policies() {
+    let points: Vec<OfflinePoint> =
+        serde_json::from_str(&results_file("fig8c_offload_family.json")).expect("valid fig8c JSON");
+    assert!(!points.is_empty());
+    for p in &points {
+        assert!(p.output_len > 0);
+        assert!(p.relative_throughput.is_finite() && p.relative_throughput > 0.0);
+    }
+    // The offload-family comparison must cover the pipelined-offloading baselines next to
+    // NEO and FastDecode+, at every swept output length.
+    for required in ["NEO", "FastDecode+", "PIPO", "SpecOffload"] {
+        let count = points.iter().filter(|p| p.policy == required).count();
+        assert!(count >= 6, "fig8c must sweep {required} over ≥6 output lengths, got {count}");
+    }
+    assert_registered(points.into_iter().map(|p| p.policy), "fig8c_offload_family.json");
+}
