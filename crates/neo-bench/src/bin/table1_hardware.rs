@@ -17,6 +17,9 @@ struct Row {
     cpu_mem_gb: u64,
     gpu_mem_bw_gbs: f64,
     cpu_mem_bw_gbs: f64,
+    tp: usize,
+    weight_gb_per_rank: f64,
+    kv_shard_kib_per_token: f64,
     gpu_kv_capacity_tokens: usize,
     cpu_kv_capacity_tokens: usize,
 }
@@ -35,6 +38,8 @@ fn main() {
         .iter()
         .map(|(tb, scenario)| {
             let cm = scenario.cost_model();
+            // All ranks are identical GPUs, so rank 0's budget stands for every rank.
+            let budget = cm.rank_budget(0);
             Row {
                 name: tb.name.clone(),
                 gpu: tb.gpu.name.clone(),
@@ -43,6 +48,9 @@ fn main() {
                 cpu_mem_gb: tb.cpu.mem_bytes / (1 << 30),
                 gpu_mem_bw_gbs: tb.gpu.mem_bw / 1e9,
                 cpu_mem_bw_gbs: tb.cpu.mem_bw / 1e9,
+                tp: cm.tp(),
+                weight_gb_per_rank: budget.weight_bytes as f64 / 1e9,
+                kv_shard_kib_per_token: budget.kv_bytes_per_token as f64 / 1024.0,
                 gpu_kv_capacity_tokens: cm.gpu_kv_capacity_tokens(),
                 cpu_kv_capacity_tokens: cm.cpu_kv_capacity_tokens(),
             }
@@ -59,6 +67,9 @@ fn main() {
             "host mem (GB)",
             "GPU BW (GB/s)",
             "CPU BW (GB/s)",
+            "tp",
+            "weights/rank (GB)",
+            "KV shard (KiB/tok)",
             "GPU KV cap (tok)",
             "CPU KV cap (tok)",
         ],
@@ -73,6 +84,9 @@ fn main() {
                     r.cpu_mem_gb.to_string(),
                     format!("{:.0}", r.gpu_mem_bw_gbs),
                     format!("{:.0}", r.cpu_mem_bw_gbs),
+                    r.tp.to_string(),
+                    format!("{:.1}", r.weight_gb_per_rank),
+                    format!("{:.0}", r.kv_shard_kib_per_token),
                     r.gpu_kv_capacity_tokens.to_string(),
                     r.cpu_kv_capacity_tokens.to_string(),
                 ]

@@ -30,11 +30,21 @@ pub struct Scenario {
 impl Scenario {
     /// 2×H100 serving LLaMa-3.1-70B (Figures 6a, 8, 9a, 10b).
     pub fn h100_70b() -> Self {
+        Self::h100_70b_tp(2)
+    }
+
+    /// The HGX H100 server serving LLaMa-3.1-70B at an arbitrary tensor-parallel degree:
+    /// `tp` GPUs, `tp`-way sharding (the `fig_tp_sweep` driver sweeps tp ∈ {1, 2, 4, 8}).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` is zero or greater than 8 (the HGX box has 8 GPUs).
+    pub fn h100_70b_tp(tp: usize) -> Self {
         Self {
-            name: "2xH100 + LLaMa-3.1-70B".to_string(),
-            testbed: Testbed::hgx_h100(2),
+            name: format!("{tp}xH100 + LLaMa-3.1-70B"),
+            testbed: Testbed::hgx_h100(tp),
             model: ModelDesc::llama3_70b(),
-            tp: 2,
+            tp,
         }
     }
 

@@ -101,7 +101,9 @@ impl Engine {
         let problems = config.validate();
         assert!(problems.is_empty(), "invalid engine config: {}", problems.join("; "));
         // Reserve activations for exactly the number of tokens this engine will ever
-        // batch, so the GPU KV budget matches the configured batching limit.
+        // batch, so the GPU KV budget matches the configured batching limit. The GPU
+        // pool is sized from the tightest tensor-parallel rank: a token is admitted only
+        // if every rank can hold its KV shard.
         let cost = cost.with_max_batch_tokens(config.max_batch_tokens);
         let kv = KvCacheManager::new(KvCacheConfig {
             block_size: BLOCK_SIZE,
@@ -250,6 +252,20 @@ impl Engine {
     /// Read-only view of the KV cache accounting.
     pub fn kv(&self) -> &KvCacheManager {
         &self.kv
+    }
+
+    /// Static memory budget of each tensor-parallel rank. The engine's GPU KV pool is
+    /// sized from the *tightest* rank's budget (see
+    /// [`CostModel::gpu_kv_capacity_tokens`]), so admission and swap decisions derived
+    /// from `gpu_free_tokens` respect every rank's capacity.
+    pub fn rank_budgets(&self) -> Vec<neo_sim::RankBudget> {
+        self.cost.rank_budgets()
+    }
+
+    /// Live per-rank occupancy of the GPU KV pool (token counts shared by all ranks,
+    /// byte counts sharded `1/tp`).
+    pub fn rank_occupancy(&self) -> Vec<neo_kvcache::RankOccupancy> {
+        self.kv.rank_occupancy(self.cost.tp())
     }
 
     /// Engine configuration.
@@ -648,6 +664,29 @@ mod tests {
         e.set_admission_backlog(3); // advisory; next step surfaces it to the scheduler
         e.run_to_completion(10_000);
         assert_eq!(e.completed().len(), 2);
+    }
+
+    #[test]
+    fn rank_views_track_the_tp_group() {
+        let mut e = engine(Testbed::hgx_h100(2), ModelDesc::llama3_70b());
+        let budgets = e.rank_budgets();
+        assert_eq!(budgets.len(), 2);
+        // The GPU pool was sized from the tightest rank.
+        assert_eq!(
+            e.kv().config().gpu_capacity_tokens,
+            budgets.iter().map(|b| b.kv_capacity_tokens).min().unwrap()
+        );
+        e.submit(Request::new(1, 0.0, 200, 10));
+        e.step();
+        let ranks = e.rank_occupancy();
+        assert_eq!(ranks.len(), 2);
+        assert!(ranks[0].used_tokens > 0, "prefill must occupy KV");
+        assert_eq!(ranks[0].used_bytes, ranks[1].used_bytes);
+        // Each of the two ranks holds half of the group's KV bytes.
+        assert_eq!(
+            ranks[0].used_bytes,
+            ranks[0].used_tokens as u64 * e.cost_model().kv_bytes_per_token() as u64 / 2
+        );
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //! KV swap traffic. Swap-out of newly prefilled KV is overlapped layer by layer with
 //! compute when [`crate::EngineConfig::layerwise_swap_overlap`] is on; whole-sequence
 //! swap-in/swap-out decided by the scheduler is charged through the PCIe model directly.
+//!
+//! All PCIe terms obtained from [`IterationCost`] are *per-rank wall-clock* times: under
+//! tensor parallelism every rank moves only its `1/tp` KV shard over its own link, in
+//! parallel with the other ranks, so the estimates below need no further `tp` scaling.
+//! The collective costs of sharded execution (per-layer all-reduces, the LM-head
+//! all-gather) are folded into the linear-stage and `pre_post_time` queries by the cost
+//! model itself.
 
 use neo_kvcache::SwapPlan;
 use neo_sim::profiler::IterationCost;

@@ -45,7 +45,7 @@ pub mod swap;
 pub use allocator::BlockAllocator;
 pub use blocktable::BlockTable;
 pub use error::KvCacheError;
-pub use manager::{KvCacheConfig, KvCacheManager};
+pub use manager::{KvCacheConfig, KvCacheManager, RankOccupancy};
 pub use pool::{Device, KvPool};
 pub use storage::PagedStorage;
 pub use swap::SwapPlan;

@@ -37,6 +37,27 @@ pub struct SwapStats {
     pub to: Device,
 }
 
+/// Occupancy of the GPU KV pool as seen by one tensor-parallel rank.
+///
+/// Every token's KV entries are sharded `1/tp` per rank, so each rank caches the same
+/// *token count* as the group but only its shard of the *bytes*. This view is what
+/// capacity dashboards and TP-aware policies consume instead of group-level token
+/// totals: the pool is full exactly when the tightest rank's shard budget is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankOccupancy {
+    /// Rank index within the tensor-parallel group (`0..tp`).
+    pub rank: usize,
+    /// Tokens whose KV shard this rank currently caches (block-granular, like
+    /// [`KvPool::used_tokens`]).
+    pub used_tokens: usize,
+    /// Tokens this rank can still accept.
+    pub free_tokens: usize,
+    /// Bytes of KV shard currently resident on this rank.
+    pub used_bytes: u64,
+    /// Total bytes of KV shard this rank can hold.
+    pub capacity_bytes: u64,
+}
+
 /// Per-sequence record kept by the manager.
 #[derive(Debug, Clone)]
 struct SeqEntry {
@@ -223,6 +244,31 @@ impl KvCacheManager {
         ids
     }
 
+    /// Per-rank occupancy of the GPU pool under a `tp`-way tensor-parallel sharding.
+    ///
+    /// Token counts are identical across ranks (every token is sharded over all of
+    /// them); byte counts are each rank's `1/tp` shard of
+    /// [`KvCacheConfig::kv_bytes_per_token`]. Block-granular, like the pool's own
+    /// accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` is zero.
+    pub fn rank_occupancy(&self, tp: usize) -> Vec<RankOccupancy> {
+        assert!(tp >= 1, "tensor-parallel degree must be at least 1");
+        let pool = self.pool(Device::Gpu);
+        let shard_bytes_per_token = self.config.kv_bytes_per_token as u64 / tp as u64;
+        (0..tp)
+            .map(|rank| RankOccupancy {
+                rank,
+                used_tokens: pool.used_tokens(),
+                free_tokens: pool.free_tokens(),
+                used_bytes: pool.used_tokens() as u64 * shard_bytes_per_token,
+                capacity_bytes: pool.capacity_tokens() as u64 * shard_bytes_per_token,
+            })
+            .collect()
+    }
+
     /// Total cached tokens per device `(gpu_tokens, cpu_tokens)`, counting logical tokens.
     pub fn cached_tokens(&self) -> (usize, usize) {
         let mut gpu = 0;
@@ -334,6 +380,28 @@ mod tests {
         assert_eq!(m.sequences_on(Device::Gpu), vec![1, 3]);
         assert_eq!(m.sequences_on(Device::Cpu), vec![2]);
         assert_eq!(m.cached_tokens(), (20, 10));
+    }
+
+    #[test]
+    fn rank_occupancy_shards_bytes_not_tokens() {
+        let mut m = mgr(256, 256);
+        m.allocate_sequence(1, 100, Device::Gpu).unwrap(); // 7 blocks = 112 tokens
+        m.allocate_sequence(2, 10, Device::Cpu).unwrap(); // CPU tokens are not per-rank
+        let ranks = m.rank_occupancy(2);
+        assert_eq!(ranks.len(), 2);
+        for (i, r) in ranks.iter().enumerate() {
+            assert_eq!(r.rank, i);
+            // Every rank caches a shard of every GPU token: token counts match the pool.
+            assert_eq!(r.used_tokens, m.pool(Device::Gpu).used_tokens());
+            assert_eq!(r.free_tokens, m.free_tokens(Device::Gpu));
+            // Bytes are the 1/tp shard.
+            assert_eq!(r.used_bytes, r.used_tokens as u64 * 1024 / 2);
+            assert_eq!(r.capacity_bytes, 256 * 1024 / 2);
+        }
+        // tp = 1 degenerates to the whole-pool view.
+        let solo = m.rank_occupancy(1);
+        assert_eq!(solo.len(), 1);
+        assert_eq!(solo[0].used_bytes, solo[0].used_tokens as u64 * 1024);
     }
 
     #[test]

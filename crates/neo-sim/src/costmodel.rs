@@ -12,9 +12,49 @@
 //! and tensor-parallel all-reduce) from the roofline model; the combination into the
 //! iteration formula lives in `neo-core`.
 
+use serde::{Deserialize, Serialize};
+
 use crate::hardware::Testbed;
 use crate::model_desc::ModelDesc;
 use crate::roofline::{OpWork, Roofline};
+
+/// Memory budget of a single tensor-parallel rank (one GPU of the group).
+///
+/// Model weights, activations and every token's KV cache are sharded `1/tp` per rank, so
+/// capacity questions ("can the group hold another token?") reduce to the *tightest*
+/// rank's budget. [`CostModel::rank_budget`] derives this view; group-level helpers like
+/// [`CostModel::gpu_kv_capacity_tokens`] take the minimum over ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankBudget {
+    /// Rank index within the tensor-parallel group (`0..tp`).
+    pub rank: usize,
+    /// Total HBM/GDDR of this rank's GPU in bytes.
+    pub mem_bytes: u64,
+    /// Bytes the serving engine may use on this rank (`mem_bytes × gpu_mem_utilization`).
+    pub usable_bytes: u64,
+    /// Bytes of this rank's model-weight shard.
+    pub weight_bytes: u64,
+    /// Bytes reserved on this rank for peak activations of the largest batch.
+    pub activation_bytes: u64,
+    /// Bytes of one token's KV shard on this rank.
+    pub kv_bytes_per_token: usize,
+    /// Tokens whose KV shard fits in this rank's remaining budget.
+    pub kv_capacity_tokens: usize,
+}
+
+impl RankBudget {
+    /// Bytes left for KV cache after weights and activations (zero when the shard does
+    /// not fit at all).
+    pub fn kv_budget_bytes(&self) -> u64 {
+        (self.usable_bytes as i64 - self.weight_bytes as i64 - self.activation_bytes as i64).max(0)
+            as u64
+    }
+
+    /// Bytes of KV shard `n_tokens` tokens occupy on this rank.
+    pub fn kv_bytes_for_tokens(&self, n_tokens: usize) -> u64 {
+        n_tokens as u64 * self.kv_bytes_per_token as u64
+    }
+}
 
 /// Sustained DRAM read bandwidth a single CPU core can extract (bytes/s). The effective
 /// CPU attention bandwidth is capped at `cores × PER_CORE_STREAM_BW` so that small
@@ -48,10 +88,18 @@ impl CostModel {
     ///
     /// # Panics
     ///
-    /// Panics if `tp` is zero or exceeds the number of GPUs in the testbed.
+    /// Panics if `tp` is zero, exceeds the number of GPUs in the testbed, or is greater
+    /// than 1 on a testbed without a GPU-GPU interconnect (the per-layer all-reduces and
+    /// the LM-head all-gather would otherwise be silently priced as free).
     pub fn new(model: ModelDesc, testbed: Testbed, tp: usize) -> Self {
         assert!(tp >= 1, "tensor-parallel degree must be at least 1");
         assert!(tp <= testbed.num_gpus, "tensor-parallel degree exceeds GPU count");
+        assert!(
+            tp == 1 || testbed.interconnect.is_some(),
+            "tensor parallelism requires a GPU-GPU interconnect: testbed {:?} has none \
+             but tp = {tp} (the collectives would be priced as free)",
+            testbed.name
+        );
         let gpu = Roofline::new(
             testbed.gpu_eff_flops(),
             testbed.gpu_eff_bw(),
@@ -122,21 +170,51 @@ impl CostModel {
         self.model.kv_bytes_per_token()
     }
 
+    /// Memory budget of one tensor-parallel rank (see [`RankBudget`]).
+    ///
+    /// All ranks of the modelled testbeds are identical GPUs, so every rank currently
+    /// reports the same budget; the per-rank view exists so capacity decisions are framed
+    /// as "the tightest rank admits it" rather than a group-level average, which is the
+    /// correct shape once ranks differ (MIG slices, asymmetric reservations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= tp`.
+    pub fn rank_budget(&self, rank: usize) -> RankBudget {
+        assert!(rank < self.tp, "rank {rank} out of range for tp = {}", self.tp);
+        let mem_bytes = self.testbed.gpu.mem_bytes;
+        let mut budget = RankBudget {
+            rank,
+            mem_bytes,
+            usable_bytes: (mem_bytes as f64 * self.testbed.gpu_mem_utilization) as u64,
+            weight_bytes: self.weight_bytes_per_gpu(),
+            activation_bytes: self.model.activation_bytes(self.max_batch_tokens) / self.tp as u64,
+            kv_bytes_per_token: self.kv_bytes_per_token_per_gpu(),
+            kv_capacity_tokens: 0,
+        };
+        budget.kv_capacity_tokens =
+            (budget.kv_budget_bytes() / budget.kv_bytes_per_token as u64) as usize;
+        budget
+    }
+
+    /// Memory budgets of every rank in the tensor-parallel group, in rank order.
+    pub fn rank_budgets(&self) -> Vec<RankBudget> {
+        (0..self.tp).map(|r| self.rank_budget(r)).collect()
+    }
+
     /// Number of tokens the GPU KV cache can hold across the tensor-parallel group after
     /// reserving weights and peak activations.
     ///
-    /// This is the quantity that collapses on memory-constrained GPUs (16 GB T4 serving a
-    /// 13 GB LLaMa-2-7B keeps only a sliver for KV), which is exactly the regime where the
-    /// paper reports up to 7.5× gains.
+    /// Every token's KV is sharded over all ranks, so the group holds a token only if the
+    /// *tightest* rank still has room for its shard: this is the minimum of the per-rank
+    /// [`RankBudget::kv_capacity_tokens`]. It is the quantity that collapses on
+    /// memory-constrained GPUs (16 GB T4 serving a 13 GB LLaMa-2-7B keeps only a sliver
+    /// for KV), which is exactly the regime where the paper reports up to 7.5× gains.
     pub fn gpu_kv_capacity_tokens(&self) -> usize {
-        let per_gpu_budget = (self.testbed.gpu.mem_bytes as f64 * self.testbed.gpu_mem_utilization)
-            as i64
-            - self.weight_bytes_per_gpu() as i64
-            - (self.model.activation_bytes(self.max_batch_tokens) / self.tp as u64) as i64;
-        if per_gpu_budget <= 0 {
-            return 0;
-        }
-        (per_gpu_budget as u64 / self.kv_bytes_per_token_per_gpu() as u64) as usize
+        (0..self.tp)
+            .map(|r| self.rank_budget(r).kv_capacity_tokens)
+            .min()
+            .expect("tp >= 1, so there is at least one rank")
     }
 
     /// Number of tokens the CPU (host DRAM) KV cache can hold.
@@ -237,9 +315,17 @@ impl CostModel {
             self.model.decode_attn_flops(ctx_total),
             self.model.decode_attn_bytes(ctx_total) as f64,
         );
-        // Q/K/V transfer down + O transfer up for the offloaded tokens of this layer.
-        let qkvo = n_reqs as f64 * self.model.qkvo_transfer_bytes_per_token_per_layer() as f64;
-        let transfer = qkvo / self.testbed.pcie.bw_h2d + self.testbed.pcie.latency;
+        // Q/K/V transfer down (device→host) + O transfer up (host→device) for the
+        // offloaded tokens of this layer. Each rank ships only its own `1/tp` head shard
+        // over its own PCIe link, so the per-link bytes divide by `tp`; the two legs of
+        // the round trip are issued back to back, so the link latency is paid once.
+        let down =
+            n_reqs as f64 * self.model.qkv_down_bytes_per_token_per_layer() as f64 / self.tp as f64;
+        let up =
+            n_reqs as f64 * self.model.o_up_bytes_per_token_per_layer() as f64 / self.tp as f64;
+        let transfer = down / self.testbed.pcie.bw_d2h
+            + up / self.testbed.pcie.bw_h2d
+            + self.testbed.pcie.latency;
         self.cpu.time(work) + transfer
     }
 
@@ -249,12 +335,17 @@ impl CostModel {
 
     /// Time to swap the KV cache of `n_tokens` tokens out to the host for a single layer
     /// (used when swap-out is overlapped layer by layer with compute, §3.1).
+    ///
+    /// KV heads are sharded over the tensor-parallel group and every rank has its own
+    /// PCIe link, so each rank moves only `1/tp` of the bytes in parallel with the
+    /// others: the wall-clock is the per-rank (device→host) transfer time.
     pub fn swap_out_time_per_layer(&self, n_tokens: usize) -> f64 {
         if n_tokens == 0 {
             return 0.0;
         }
-        let bytes = (n_tokens * self.model.kv_bytes_per_token_per_layer()) as f64;
-        bytes / self.testbed.pcie.bw_d2h + self.testbed.pcie.latency
+        let bytes_per_rank =
+            (n_tokens * self.model.kv_bytes_per_token_per_layer()) as f64 / self.tp as f64;
+        bytes_per_rank / self.testbed.pcie.bw_d2h + self.testbed.pcie.latency
     }
 
     /// Time to swap the full-model KV cache of `n_tokens` tokens out to the host.
@@ -264,12 +355,16 @@ impl CostModel {
 
     /// Time to swap the KV cache of `n_tokens` tokens from the host into the GPU, for a
     /// single layer.
+    ///
+    /// As with [`CostModel::swap_out_time_per_layer`], each rank pulls only its own
+    /// `1/tp` KV shard over its own (host→device) link, in parallel with the others.
     pub fn swap_in_time_per_layer(&self, n_tokens: usize) -> f64 {
         if n_tokens == 0 {
             return 0.0;
         }
-        let bytes = (n_tokens * self.model.kv_bytes_per_token_per_layer()) as f64;
-        bytes / self.testbed.pcie.bw_h2d + self.testbed.pcie.latency
+        let bytes_per_rank =
+            (n_tokens * self.model.kv_bytes_per_token_per_layer()) as f64 / self.tp as f64;
+        bytes_per_rank / self.testbed.pcie.bw_h2d + self.testbed.pcie.latency
     }
 
     /// Time to swap the full-model KV cache of `n_tokens` tokens into the GPU.
@@ -284,10 +379,13 @@ impl CostModel {
     /// Per-layer tensor-parallel all-reduce time for `n_tokens` tokens (two all-reduces of
     /// the hidden activations per layer). Zero when `tp == 1`.
     pub fn allreduce_time(&self, n_tokens: usize) -> f64 {
-        let Some(ic) = self.testbed.interconnect else { return 0.0 };
         if self.tp <= 1 || n_tokens == 0 {
             return 0.0;
         }
+        let ic = self
+            .testbed
+            .interconnect
+            .expect("CostModel::new rejects tp > 1 without an interconnect");
         let bytes = (n_tokens * self.model.hidden * self.model.dtype_bytes) as f64;
         let ring_factor = 2.0 * (self.tp as f64 - 1.0) / self.tp as f64;
         2.0 * (ring_factor * bytes / ic.bw + ic.latency) * (1.0 - self.allreduce_overlap)
@@ -296,6 +394,10 @@ impl CostModel {
     /// Time of the pre-layer (embedding) and post-layer (final norm + LM head + sampling)
     /// stages for a batch with `n_tokens` total tokens and `n_seqs` sequences needing
     /// sampling. This is **not** per layer; it is incurred once per iteration.
+    ///
+    /// Under tensor parallelism the LM head is vocab-sharded: each rank computes
+    /// `vocab / tp` logits and the full distribution is assembled with an all-gather
+    /// over the interconnect before sampling ([`CostModel::lm_head_allgather_time`]).
     pub fn pre_post_layer_time(&self, n_tokens: usize, n_seqs: usize) -> f64 {
         if n_tokens == 0 {
             return 0.0;
@@ -308,7 +410,28 @@ impl CostModel {
         );
         let embed =
             (n_tokens * self.model.hidden * self.model.dtype_bytes) as f64 / self.gpu.bandwidth;
-        self.gpu.time(work) + embed + self.python_overhead(n_seqs)
+        self.gpu.time(work)
+            + embed
+            + self.lm_head_allgather_time(head_tokens)
+            + self.python_overhead(n_seqs)
+    }
+
+    /// Time of the all-gather assembling the vocab-sharded LM-head logits of `head_tokens`
+    /// sampled tokens across the tensor-parallel group. Zero when `tp == 1`.
+    ///
+    /// A ring all-gather delivers `(tp - 1) / tp` of the full logit tensor over each
+    /// rank's interconnect link.
+    pub fn lm_head_allgather_time(&self, head_tokens: usize) -> f64 {
+        if self.tp <= 1 || head_tokens == 0 {
+            return 0.0;
+        }
+        let ic = self
+            .testbed
+            .interconnect
+            .expect("CostModel::new rejects tp > 1 without an interconnect");
+        let bytes = (head_tokens * self.model.vocab * self.model.dtype_bytes) as f64;
+        let ring_factor = (self.tp as f64 - 1.0) / self.tp as f64;
+        ring_factor * bytes / ic.bw + ic.latency
     }
 
     /// Per-iteration scheduling / Python / launch overhead outside the transformer layers.
@@ -325,6 +448,7 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hardware::PcieSpec;
 
     fn a10g_8b() -> CostModel {
         CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1)
@@ -436,6 +560,89 @@ mod tests {
     #[should_panic(expected = "exceeds GPU count")]
     fn tp_larger_than_gpus_panics() {
         let _ = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a GPU-GPU interconnect")]
+    fn tp_without_interconnect_is_rejected() {
+        // A 2-GPU box with no NVLink/PCIe-P2P model must not price collectives as free.
+        let mut testbed = Testbed::hgx_h100(2);
+        testbed.interconnect = None;
+        let _ = CostModel::new(ModelDesc::llama3_70b(), testbed, 2);
+    }
+
+    #[test]
+    fn tp_halves_per_rank_swap_times() {
+        let tp2 = h100_70b();
+        let tp1 = CostModel::new(ModelDesc::llama3_70b(), Testbed::hgx_h100(1), 1);
+        let lat = tp2.testbed().pcie.latency;
+        for n in [100usize, 1000, 10_000] {
+            let bw1 = tp1.swap_out_time_per_layer(n) - lat;
+            let bw2 = tp2.swap_out_time_per_layer(n) - lat;
+            assert!((bw2 - bw1 / 2.0).abs() < 1e-15, "swap-out bytes must halve at tp=2");
+            let in1 = tp1.swap_in_time_per_layer(n) - lat;
+            let in2 = tp2.swap_in_time_per_layer(n) - lat;
+            assert!((in2 - in1 / 2.0).abs() < 1e-15, "swap-in bytes must halve at tp=2");
+        }
+    }
+
+    #[test]
+    fn per_rank_swap_time_monotone_in_tp() {
+        let mut last = f64::INFINITY;
+        for tp in [1usize, 2, 4, 8] {
+            let cm = CostModel::new(ModelDesc::llama3_70b(), Testbed::hgx_h100(tp.max(2)), tp);
+            let t = cm.swap_out_time_per_layer(5000);
+            assert!(t <= last, "per-rank swap time must not increase with tp");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn rank_budgets_back_the_group_capacity() {
+        for cm in [a10g_8b(), h100_70b()] {
+            let budgets = cm.rank_budgets();
+            assert_eq!(budgets.len(), cm.tp());
+            let min = budgets.iter().map(|b| b.kv_capacity_tokens).min().unwrap();
+            assert_eq!(cm.gpu_kv_capacity_tokens(), min, "group capacity is the tightest rank");
+            for (i, b) in budgets.iter().enumerate() {
+                assert_eq!(b.rank, i);
+                assert_eq!(b.kv_bytes_per_token, cm.kv_bytes_per_token_per_gpu());
+                assert_eq!(b.weight_bytes, cm.weight_bytes_per_gpu());
+                assert!(b.kv_budget_bytes() <= b.usable_bytes);
+                assert_eq!(b.kv_bytes_for_tokens(10), 10 * b.kv_bytes_per_token as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn lm_head_allgather_only_with_tp() {
+        assert_eq!(a10g_8b().lm_head_allgather_time(64), 0.0);
+        let multi = h100_70b();
+        assert_eq!(multi.lm_head_allgather_time(0), 0.0);
+        assert!(multi.lm_head_allgather_time(64) > 0.0);
+        // And it is charged inside the non-layer stage.
+        let tokens_only = multi.lm_head_allgather_time(64);
+        let with = multi.pre_post_layer_time(64, 64);
+        assert!(with > tokens_only);
+    }
+
+    #[test]
+    fn qkvo_round_trip_charges_each_leg_at_its_own_direction() {
+        // An asymmetric link (fast h2d, slow d2h) must price the Q/K/V down-leg at the
+        // d2h bandwidth — the pre-fix code charged the whole round trip at h2d.
+        let mut testbed = Testbed::g5_xlarge(4);
+        testbed.pcie = PcieSpec { bw_h2d: 24e9, bw_d2h: 6e9, latency: 10e-6 };
+        let asym = CostModel::new(ModelDesc::llama3_8b(), testbed, 1);
+        let sym = a10g_8b();
+        let m = ModelDesc::llama3_8b();
+        let n_reqs = 100usize;
+        let delta =
+            asym.cpu_decode_attn_time(50_000, n_reqs) - sym.cpu_decode_attn_time(50_000, n_reqs);
+        // The compute part is identical; the difference is exactly the down-leg priced at
+        // 6 GB/s instead of 24 GB/s.
+        let down = n_reqs as f64 * m.qkv_down_bytes_per_token_per_layer() as f64;
+        let expected = down / 6e9 - down / 24e9;
+        assert!((delta - expected).abs() < 1e-12, "delta {delta} vs expected {expected}");
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! * [`roofline`] — the roofline execution-time estimator (`max(compute, memory)` + launch
 //!   overhead) used to model each operator on each device.
 //! * [`costmodel`] — per-operator cost primitives (linear stage, GPU/CPU decode attention,
-//!   prefill attention, PCIe swaps, tensor-parallel all-reduce) combined by the scheduler
-//!   into the paper's iteration-time formula.
+//!   prefill attention, PCIe swaps, tensor-parallel collectives) combined by the scheduler
+//!   into the paper's iteration-time formula. Tensor parallelism is first-class: PCIe
+//!   terms are priced per rank (`1/tp` of the bytes over each rank's own link) and
+//!   [`costmodel::RankBudget`] exposes per-rank KV capacity so group-level decisions
+//!   respect the tightest rank.
 //! * [`profiler`] — the offline-profiling + piecewise-linear-interpolation layer the paper's
 //!   load-aware scheduler uses instead of an exact analytical model (§3.2).
 //! * [`transfer`] — double-buffered transfer/compute overlap terms used by the
@@ -65,7 +68,7 @@ pub mod roofline;
 pub mod transfer;
 
 pub use clock::SimClock;
-pub use costmodel::CostModel;
+pub use costmodel::{CostModel, RankBudget};
 pub use hardware::{CpuSpec, GpuSpec, InterconnectSpec, PcieSpec, Testbed};
 pub use model_desc::ModelDesc;
 pub use profiler::{Interpolator1d, ProfiledCostModel};

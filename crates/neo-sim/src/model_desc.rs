@@ -207,13 +207,27 @@ impl ModelDesc {
         (n * per_token * self.dtype_bytes) as u64
     }
 
+    /// Bytes of the *down-leg* (device→host) of one CPU-offloaded decode token per layer:
+    /// the Q vector for all query heads plus the freshly produced K/V entries that join
+    /// the host-resident cache.
+    pub fn qkv_down_bytes_per_token_per_layer(&self) -> u64 {
+        let q = self.n_heads * self.head_dim;
+        let kv = 2 * self.n_kv_heads * self.head_dim;
+        ((q + kv) * self.dtype_bytes) as u64
+    }
+
+    /// Bytes of the *up-leg* (host→device) of one CPU-offloaded decode token per layer:
+    /// the attention output `O` (one vector per query head) returning to the GPU for the
+    /// output projection.
+    pub fn o_up_bytes_per_token_per_layer(&self) -> u64 {
+        (self.n_heads * self.head_dim * self.dtype_bytes) as u64
+    }
+
     /// Bytes of Q/K/V vectors that must cross PCIe per CPU-offloaded decode token per layer
     /// (Q for all query heads plus the new K/V entries), and of the attention output `O`
-    /// coming back.
+    /// coming back: the sum of both directional legs.
     pub fn qkvo_transfer_bytes_per_token_per_layer(&self) -> u64 {
-        let qo = 2 * self.n_heads * self.head_dim;
-        let kv = 2 * self.n_kv_heads * self.head_dim;
-        ((qo + kv) * self.dtype_bytes) as u64
+        self.qkv_down_bytes_per_token_per_layer() + self.o_up_bytes_per_token_per_layer()
     }
 }
 
@@ -278,6 +292,21 @@ mod tests {
         let m = ModelDesc::llama3_70b();
         assert_eq!(m.decode_attn_bytes(2000), 2 * m.decode_attn_bytes(1000));
         assert!((m.decode_attn_flops(2000) - 2.0 * m.decode_attn_flops(1000)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qkvo_legs_sum_to_the_round_trip() {
+        // The directional split must conserve the historical round-trip total: for
+        // LLaMa-3.1-8B, Q (32×128) + K/V (2×8×128) down and O (32×128) up, 2 bytes each.
+        let m = ModelDesc::llama3_8b();
+        assert_eq!(m.qkv_down_bytes_per_token_per_layer(), (4096 + 2048) * 2);
+        assert_eq!(m.o_up_bytes_per_token_per_layer(), 4096 * 2);
+        for m in [ModelDesc::llama2_7b(), ModelDesc::llama3_8b(), ModelDesc::llama3_70b()] {
+            assert_eq!(
+                m.qkvo_transfer_bytes_per_token_per_layer(),
+                m.qkv_down_bytes_per_token_per_layer() + m.o_up_bytes_per_token_per_layer()
+            );
+        }
     }
 
     #[test]

@@ -76,14 +76,23 @@ pub trait IterationCost: Send + Sync {
     /// Per-layer CPU attention time (`Tca`) of `n_reqs` offloaded requests totalling
     /// `ctx_total` cached tokens.
     fn cpu_attn_time(&self, ctx_total: usize, n_reqs: usize) -> f64;
-    /// Per-layer KV swap-out time for `n_tokens` freshly prefilled tokens.
+    /// Per-layer KV swap-out time for `n_tokens` freshly prefilled tokens. Per-rank
+    /// wall-clock: under tensor parallelism each rank moves its own `1/tp` KV shard over
+    /// its own PCIe link in parallel with the others.
     fn swap_out_time(&self, n_tokens: usize) -> f64;
-    /// Per-layer KV swap-in time for `n_tokens` tokens brought back to the GPU.
+    /// Per-layer KV swap-in time for `n_tokens` tokens brought back to the GPU (per-rank
+    /// wall-clock, like [`IterationCost::swap_out_time`]).
     fn swap_in_time(&self, n_tokens: usize) -> f64;
     /// Non-layer (embedding + LM head + sampling) time for the iteration.
     fn pre_post_time(&self, n_tokens: usize, n_seqs: usize) -> f64;
     /// Number of transformer layers (to scale per-layer times).
     fn n_layers(&self) -> usize;
+    /// Tensor-parallel degree of the modelled deployment (1 on single-GPU testbeds).
+    /// PCIe terms returned by the `swap_*`/`cpu_attn` queries are already per-rank; this
+    /// accessor lets consumers reason about group-level traffic when they need it.
+    fn tp(&self) -> usize {
+        1
+    }
 }
 
 impl IterationCost for CostModel {
@@ -112,6 +121,9 @@ impl IterationCost for CostModel {
     }
     fn n_layers(&self) -> usize {
         self.model().n_layers
+    }
+    fn tp(&self) -> usize {
+        CostModel::tp(self)
     }
 }
 
@@ -235,6 +247,10 @@ impl IterationCost for ProfiledCostModel {
 
     fn n_layers(&self) -> usize {
         self.exact.model().n_layers
+    }
+
+    fn tp(&self) -> usize {
+        self.exact.tp()
     }
 }
 

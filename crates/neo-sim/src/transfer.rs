@@ -21,8 +21,12 @@
 ///
 /// Returns `n_stages × compute` when there is nothing to transfer, and
 /// `transfer + n_stages × max(compute, transfer)` otherwise (pipeline fill plus the
-/// steady-state stage cadence).
+/// steady-state stage cadence). A zero-stage pipeline does no work — and fills no
+/// buffer — so it costs exactly zero regardless of the per-stage times.
 pub fn double_buffered_time(n_stages: usize, compute: f64, transfer: f64) -> f64 {
+    if n_stages == 0 {
+        return 0.0;
+    }
     let stages = n_stages as f64;
     if transfer <= 0.0 {
         return stages * compute.max(0.0);
@@ -94,5 +98,13 @@ mod tests {
     fn exposed_never_negative() {
         assert!(double_buffered_exposed(0, 0.0, 0.0) >= 0.0);
         assert!(double_buffered_exposed(5, 10.0, 0.1) >= 0.0);
+    }
+
+    #[test]
+    fn zero_stage_pipeline_is_free() {
+        // A zero-stage pipeline never fills a buffer: no fill cost, no exposure.
+        assert_eq!(double_buffered_time(0, 2.0, 4.0), 0.0);
+        assert_eq!(double_buffered_time(0, 0.0, 4.0), 0.0);
+        assert_eq!(double_buffered_exposed(0, 2.0, 4.0), 0.0);
     }
 }

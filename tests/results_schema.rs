@@ -1,9 +1,12 @@
 //! Regeneration contract for the checked-in `results/` figure JSON.
 //!
 //! The fig8-family files are emitted by `cargo run --release -p neo-bench --bin
-//! fig8_fastdecode`; these tests pin the schema those files must keep (so plots built on
-//! them do not silently rot) and check that every policy label appearing in them maps
-//! back to a registered `SchedulerPolicy` via `neo_bench::Policy::from_label`.
+//! fig8_fastdecode`, the TP sweep by `--bin fig_tp_sweep` and the hardware table by
+//! `--bin table1_hardware`; these tests pin the schema those files must keep (so plots
+//! built on them do not silently rot) and check that every policy label appearing in
+//! them maps back to a registered `SchedulerPolicy` via `neo_bench::Policy::from_label`.
+//! The `results-fresh` CI job regenerates every checked-in file and fails on diff, so
+//! the JSON can never rot against the cost model that priced it.
 
 use std::path::PathBuf;
 
@@ -38,6 +41,91 @@ fn assert_registered(policies: impl IntoIterator<Item = String>, file: &str) {
         // non-empty — i.e. the label maps to a real SchedulerPolicy, not a stale string.
         assert!(!policy.scheduler().name().is_empty());
     }
+}
+
+#[derive(Debug, Deserialize)]
+struct TpSweepPoint {
+    tp: usize,
+    feasible: bool,
+    weight_gb_per_rank: f64,
+    kv_shard_kib_per_token: f64,
+    rank_kv_capacity_tokens: usize,
+    swap_out_s_per_layer_1k: f64,
+    swap_in_s_per_layer_1k: f64,
+    cpu_attn_s_50k: f64,
+    allreduce_s_512: f64,
+    lm_head_allgather_s_64: f64,
+    neo_token_throughput: f64,
+    gpu_only_token_throughput: f64,
+    neo_relative_throughput: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct Table1Row {
+    name: String,
+    gpu: String,
+    gpus: usize,
+    cpu: String,
+    cpu_mem_gb: u64,
+    gpu_mem_bw_gbs: f64,
+    cpu_mem_bw_gbs: f64,
+    tp: usize,
+    weight_gb_per_rank: f64,
+    kv_shard_kib_per_token: f64,
+    gpu_kv_capacity_tokens: usize,
+    cpu_kv_capacity_tokens: usize,
+}
+
+#[test]
+fn fig_tp_sweep_deserializes_and_respects_the_tp_contract() {
+    let points: Vec<TpSweepPoint> =
+        serde_json::from_str(&results_file("fig_tp_sweep.json")).expect("valid fig_tp_sweep JSON");
+    // The sweep must cover tp ∈ {1, 2, 4, 8} in order.
+    assert_eq!(points.iter().map(|p| p.tp).collect::<Vec<_>>(), vec![1, 2, 4, 8]);
+    for p in &points {
+        assert!(p.weight_gb_per_rank > 0.0);
+        assert!(p.kv_shard_kib_per_token > 0.0);
+        assert!(p.swap_out_s_per_layer_1k > 0.0 && p.swap_in_s_per_layer_1k > 0.0);
+        assert!(p.cpu_attn_s_50k > 0.0);
+        if p.tp == 1 {
+            assert_eq!(p.allreduce_s_512, 0.0, "no collectives at tp = 1");
+            assert_eq!(p.lm_head_allgather_s_64, 0.0);
+            assert!(!p.feasible, "70B weights cannot fit a single 80 GB H100");
+            assert_eq!(p.rank_kv_capacity_tokens, 0);
+        } else {
+            assert!(p.allreduce_s_512 > 0.0, "tp > 1 must price the all-reduce");
+            assert!(p.lm_head_allgather_s_64 > 0.0, "tp > 1 must price the LM-head all-gather");
+            assert!(p.feasible && p.rank_kv_capacity_tokens > 0);
+            assert!(p.neo_token_throughput > 0.0 && p.gpu_only_token_throughput > 0.0);
+            assert!(p.neo_relative_throughput.is_finite() && p.neo_relative_throughput > 0.0);
+        }
+    }
+    // Per-rank PCIe terms are monotonically non-increasing in tp; weight shards shrink.
+    for w in points.windows(2) {
+        assert!(w[1].swap_out_s_per_layer_1k <= w[0].swap_out_s_per_layer_1k);
+        assert!(w[1].swap_in_s_per_layer_1k <= w[0].swap_in_s_per_layer_1k);
+        assert!(w[1].cpu_attn_s_50k <= w[0].cpu_attn_s_50k);
+        assert!(w[1].weight_gb_per_rank < w[0].weight_gb_per_rank);
+    }
+}
+
+#[test]
+fn table1_hardware_deserializes_with_per_rank_columns() {
+    let rows: Vec<Table1Row> =
+        serde_json::from_str(&results_file("table1_hardware.json")).expect("valid table1 JSON");
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert!(!r.name.is_empty() && !r.gpu.is_empty() && !r.cpu.is_empty());
+        assert!(r.gpus >= 1 && r.tp >= 1 && r.tp <= r.gpus);
+        assert!(r.cpu_mem_gb > 0 && r.gpu_mem_bw_gbs > 0.0 && r.cpu_mem_bw_gbs > 0.0);
+        assert!(r.weight_gb_per_rank > 0.0);
+        assert!(r.kv_shard_kib_per_token > 0.0);
+        assert!(r.cpu_kv_capacity_tokens > r.gpu_kv_capacity_tokens, "CPU cache must be larger");
+    }
+    // The 2×H100 row is the scenario this PR re-priced: tp = 2, halved shards.
+    let hgx = rows.iter().find(|r| r.name == "hgx-2xH100").expect("hgx row present");
+    assert_eq!(hgx.tp, 2);
+    assert!(hgx.weight_gb_per_rank < 80.0, "the 70B shard must fit an 80 GB card at tp = 2");
 }
 
 #[test]
