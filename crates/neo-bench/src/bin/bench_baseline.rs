@@ -15,11 +15,21 @@
 //!
 //! `--samples <n>` controls the quick-mode sample count (default 10) and `--no-run`
 //! skips the bench invocation and diffs the JSON already in `target/criterion-json`
-//! (useful when iterating on tolerances). A regression is `current_median >
-//! baseline_median * (1 + tolerance)` — the median, not the mean, because scheduler
-//! jitter skews a handful of quick-mode samples far more than it shifts their middle.
-//! Improvements never fail. Missing or extra benchmark ids fail the check too — they
-//! mean the baselines are stale.
+//! (useful when iterating on tolerances). A regression must clear **two** bars:
+//!
+//! 1. `current_median > baseline_median * (1 + tolerance)` — the median, not the
+//!    mean, because scheduler jitter skews a handful of quick-mode samples far more
+//!    than it shifts their middle; and
+//! 2. the ~95% confidence intervals on the means (`mean ± 2·stddev/√samples`, from
+//!    the shim's recorded `stddev_ns`) must **not** overlap in the regression
+//!    direction — a median excursion whose interval still touches the baseline's is
+//!    reported as `noise`, not a failure.
+//!
+//! The second bar is what lets the tolerance sit well below the old shared-CI-runner
+//! worst case: a genuinely noisy sample set widens its own interval and exonerates
+//! itself, while a real slowdown shifts the whole distribution and cannot. Improvements
+//! never fail. Missing or extra benchmark ids fail the check too — they mean the
+//! baselines are stale.
 //!
 //! Reports carry `threads` (the rayon pool width at measurement time) and
 //! `sample_size` metadata. A check against a baseline recorded at a different thread
@@ -63,13 +73,30 @@ struct BenchReport {
 }
 
 /// One benchmark's estimate within a report.
+///
+/// `stddev_ns` is the sample standard deviation (n − 1 divisor) the shim records
+/// alongside the point estimates; the check uses it to build the confidence interval
+/// that separates real regressions from quick-mode noise.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchEstimate {
     id: String,
     mean_ns: f64,
     median_ns: f64,
     best_ns: f64,
+    stddev_ns: f64,
     samples: usize,
+}
+
+/// Half-width of the ~95% confidence interval on the mean: `2·stddev/√samples`.
+///
+/// Single-sample estimates record a stddev of 0, so their interval is a point — the
+/// variance term never rescues a measurement that carries no variance information.
+fn ci_half_width(estimate: &BenchEstimate) -> f64 {
+    if estimate.samples <= 1 {
+        0.0
+    } else {
+        2.0 * estimate.stddev_ns / (estimate.samples as f64).sqrt()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -173,7 +200,25 @@ struct Comparison {
     id: String,
     baseline_ns: f64,
     current_ns: f64,
+    /// The median breached the tolerance but the confidence intervals still overlap —
+    /// reported, not failed.
+    within_noise: bool,
     regressed: bool,
+}
+
+/// Classifies one current estimate against its baseline: a regression needs the median
+/// over tolerance *and* clearly separated confidence intervals; an over-tolerance
+/// median whose interval still overlaps the baseline's is noise.
+fn classify(base: &BenchEstimate, cur: &BenchEstimate, tolerance: f64) -> Comparison {
+    let median_breached = cur.median_ns > base.median_ns * (1.0 + tolerance);
+    let separated = cur.mean_ns - ci_half_width(cur) > base.mean_ns + ci_half_width(base);
+    Comparison {
+        id: base.id.clone(),
+        baseline_ns: base.median_ns,
+        current_ns: cur.median_ns,
+        within_noise: median_breached && !separated,
+        regressed: median_breached && separated,
+    }
 }
 
 /// Diffs current estimates against the baseline; `Err` rows are id mismatches.
@@ -213,12 +258,7 @@ fn compare(
     }
     for base in &baseline.benchmarks {
         match current.benchmarks.iter().find(|c| c.id == base.id) {
-            Some(cur) => rows.push(Comparison {
-                id: base.id.clone(),
-                baseline_ns: base.median_ns,
-                current_ns: cur.median_ns,
-                regressed: cur.median_ns > base.median_ns * (1.0 + tolerance),
-            }),
+            Some(cur) => rows.push(classify(base, cur, tolerance)),
             None => problems.push(format!(
                 "benchmark `{}` is in the baseline but was not produced by the run \
                  (renamed or removed? refresh with --write-baseline)",
@@ -254,7 +294,13 @@ fn check(root: &Path, json_dir: &Path, tolerance: f64) -> Result<bool, String> {
                 row.baseline_ns,
                 row.current_ns,
                 ratio,
-                if row.regressed { "REGRESSED" } else { "ok" }
+                if row.regressed {
+                    "REGRESSED"
+                } else if row.within_noise {
+                    "noise (CI overlap)"
+                } else {
+                    "ok"
+                }
             );
             if row.regressed {
                 ok = false;
@@ -322,5 +368,104 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate(id: &str, mean: f64, median: f64, stddev: f64, samples: usize) -> BenchEstimate {
+        BenchEstimate {
+            id: id.to_owned(),
+            mean_ns: mean,
+            median_ns: median,
+            best_ns: median * 0.9,
+            stddev_ns: stddev,
+            samples,
+        }
+    }
+
+    fn report(threads: usize, benchmarks: Vec<BenchEstimate>) -> BenchReport {
+        BenchReport { bench: "kernels".to_owned(), threads, sample_size: 10, benchmarks }
+    }
+
+    #[test]
+    fn ci_half_width_is_two_sigma_over_root_n() {
+        let e = estimate("b", 100.0, 100.0, 5.0, 25);
+        assert_eq!(ci_half_width(&e), 2.0 * 5.0 / 5.0);
+        // Single-sample estimates get a point interval: no variance data, no rescue.
+        assert_eq!(ci_half_width(&estimate("b", 100.0, 100.0, 0.0, 1)), 0.0);
+    }
+
+    #[test]
+    fn a_clear_slowdown_past_tolerance_regresses() {
+        // 3x the baseline median, tight spreads: intervals are far apart.
+        let base = estimate("b", 100.0, 100.0, 2.0, 10);
+        let cur = estimate("b", 300.0, 300.0, 2.0, 10);
+        let row = classify(&base, &cur, 0.5);
+        assert!(row.regressed);
+        assert!(!row.within_noise);
+    }
+
+    #[test]
+    fn a_median_breach_with_overlapping_intervals_is_noise_not_regression() {
+        // The median breaches +50% but both runs are noisy enough that the
+        // ±2σ/√n intervals [100±60] and [160±60] overlap — a shared-runner blip,
+        // not a code regression.
+        let base = estimate("b", 100.0, 100.0, 94.9, 10);
+        let cur = estimate("b", 160.0, 160.0, 94.9, 10);
+        let row = classify(&base, &cur, 0.5);
+        assert!(!row.regressed);
+        assert!(row.within_noise);
+    }
+
+    #[test]
+    fn noisy_intervals_never_excuse_a_within_tolerance_median() {
+        // Below the median bar nothing is flagged, however the intervals sit.
+        let base = estimate("b", 100.0, 100.0, 1.0, 10);
+        let cur = estimate("b", 120.0, 120.0, 1.0, 10);
+        let row = classify(&base, &cur, 0.5);
+        assert!(!row.regressed);
+        assert!(!row.within_noise);
+    }
+
+    #[test]
+    fn single_sample_runs_gate_on_the_median_alone() {
+        // With samples == 1 the stddev is 0 by construction, the intervals are
+        // points, and the median bar decides outright.
+        let base = estimate("b", 100.0, 100.0, 0.0, 1);
+        let cur = estimate("b", 300.0, 300.0, 0.0, 1);
+        assert!(classify(&base, &cur, 0.5).regressed);
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = estimate("b", 100.0, 100.0, 2.0, 10);
+        let cur = estimate("b", 10.0, 10.0, 2.0, 10);
+        let row = classify(&base, &cur, 0.5);
+        assert!(!row.regressed);
+        assert!(!row.within_noise);
+    }
+
+    #[test]
+    fn mismatched_ids_and_thread_counts_are_problems() {
+        let base = report(
+            1,
+            vec![estimate("kept", 1.0, 1.0, 0.1, 10), estimate("gone", 1.0, 1.0, 0.1, 10)],
+        );
+        let cur = report(
+            1,
+            vec![estimate("kept", 1.0, 1.0, 0.1, 10), estimate("new", 1.0, 1.0, 0.1, 10)],
+        );
+        let (rows, problems) = compare(&base, &cur, 0.5);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(problems.len(), 2);
+
+        let cur_other_width = report(4, vec![estimate("kept", 1.0, 1.0, 0.1, 10)]);
+        let (rows, problems) = compare(&base, &cur_other_width, 0.5);
+        assert!(rows.is_empty());
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("thread count mismatch"));
     }
 }

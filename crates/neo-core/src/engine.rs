@@ -18,7 +18,8 @@ use neo_kvcache::Device;
 use neo_sim::profiler::ProfiledCostModel;
 use neo_sim::{CostModel, SimClock};
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, OverlapModel};
+use crate::event_overlap::estimate_decision_event;
 use crate::pipeline::{estimate_decision, IterationEstimate};
 use crate::request::{Request, RequestState};
 use crate::scheduler::{ScheduleContext, Scheduler};
@@ -352,14 +353,26 @@ impl Engine {
             }
         }
 
-        // "Execute": charge the iteration's duration from the exact cost model.
-        let estimate: IterationEstimate = estimate_decision(
-            &self.cost,
-            &decision,
-            swap_out_tokens,
-            swap_in_tokens,
-            self.config.layerwise_swap_overlap,
-        );
+        // "Execute": charge the iteration's duration from the exact cost model, via the
+        // configured overlap model (closed forms are the pinned reference; the
+        // event-ordered path derives the overlap from event ordering instead).
+        let estimate: IterationEstimate = match self.config.overlap_model {
+            OverlapModel::ClosedForm => estimate_decision(
+                &self.cost,
+                &decision,
+                swap_out_tokens,
+                swap_in_tokens,
+                self.config.layerwise_swap_overlap,
+            ),
+            OverlapModel::EventOrdered => estimate_decision_event(
+                &self.cost,
+                &decision,
+                swap_out_tokens,
+                swap_in_tokens,
+                self.config.layerwise_swap_overlap,
+                neo_sim::event::TieBreak::from_seed(self.config.event_tie_break_seed),
+            ),
+        };
         let end_time = self.clock.advance(estimate.total_time.max(1e-6));
 
         // Prefill progress.

@@ -23,6 +23,13 @@
 //! decisions to the paged KV cache and advances simulated time using the cost models
 //! from `neo-sim`.
 //!
+//! Iteration time is charged through one of two overlap models
+//! ([`config::OverlapModel`]): the paper's closed forms ([`pipeline`], the default and
+//! pinned reference) or event-ordered execution of the decision's job graph
+//! ([`event_overlap`]), where GPU compute, CPU attention and the two PCIe link
+//! directions run as discrete-event components on `neo_sim::event::EventEngine` and
+//! overlap falls out of event ordering.
+//!
 //! # Example
 //!
 //! ```
@@ -45,14 +52,16 @@
 pub mod batch;
 pub mod config;
 pub mod engine;
+pub mod event_overlap;
 pub mod pipeline;
 pub mod policy;
 pub mod request;
 pub mod scheduler;
 
 pub use batch::{PrefillItem, ScheduleDecision, SubBatch};
-pub use config::EngineConfig;
+pub use config::{EngineConfig, OverlapModel};
 pub use engine::{Engine, IterationReport};
+pub use event_overlap::{estimate_decision_event, trace_decision_event};
 pub use pipeline::IterationEstimate;
 pub use policy::{IterationPlan, SchedulerPolicy};
 pub use request::{Request, RequestState};

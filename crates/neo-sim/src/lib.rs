@@ -23,6 +23,11 @@
 //!   pipelined-offloading baselines (PIPO-style KV streaming) to reason about how much
 //!   PCIe traffic hides behind per-layer compute.
 //! * [`clock`] — a simulation clock and event trace used by the serving harness.
+//! * [`event`] — the discrete-event core: a [`event::Component`] trait driven by an
+//!   [`event::EventEngine`] over a min-heap of wake-ups keyed `(next_tick, ComponentId)`,
+//!   with deterministic or seeded-fuzzed same-tick ordering, plus a [`event::TaskGraph`]
+//!   runner that executes job DAGs (layer compute, per-direction PCIe chunks) on serial
+//!   resources so overlap falls out of event ordering instead of closed forms.
 //!
 //! # Example: per-operator costs
 //!
@@ -61,6 +66,7 @@
 
 pub mod clock;
 pub mod costmodel;
+pub mod event;
 pub mod hardware;
 pub mod model_desc;
 pub mod profiler;
@@ -69,6 +75,9 @@ pub mod transfer;
 
 pub use clock::SimClock;
 pub use costmodel::{CostModel, RankBudget};
+pub use event::{
+    Component, ComponentId, EventEngine, EventRecord, TaskGraph, TaskGraphRun, TieBreak,
+};
 pub use hardware::{CpuSpec, GpuSpec, InterconnectSpec, PcieSpec, Testbed};
 pub use model_desc::ModelDesc;
 pub use profiler::{Interpolator1d, ProfiledCostModel};

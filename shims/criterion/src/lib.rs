@@ -17,7 +17,7 @@
 //!   `<dir>/<bench>.json` (bench = executable name minus cargo's trailing
 //!   `-<hash>`) with machine-readable per-benchmark estimates:
 //!   `{"bench": ..., "threads": ..., "sample_size": ..., "benchmarks":
-//!   [{"id", "mean_ns", "median_ns", "best_ns", "samples"}]}`. The
+//!   [{"id", "mean_ns", "median_ns", "best_ns", "stddev_ns", "samples"}]}`. The
 //!   `threads` field records [`rayon::current_num_threads`] at emission
 //!   time and `sample_size` the effective `CRITERION_SAMPLE_SIZE`, so
 //!   baseline checkers can refuse to compare runs whose parallelism or
@@ -252,6 +252,22 @@ fn run_benchmark(
     let mut sorted = bencher.samples.clone();
     sorted.sort_unstable();
     let median = sorted[sorted.len() / 2];
+    // Sample standard deviation (ns): the spread baseline checkers build
+    // confidence intervals from. Zero for a single sample.
+    let mean_ns = mean.as_nanos() as f64;
+    let stddev_ns = if bencher.samples.len() > 1 {
+        let sum_sq: f64 = bencher
+            .samples
+            .iter()
+            .map(|s| {
+                let d = s.as_nanos() as f64 - mean_ns;
+                d * d
+            })
+            .sum();
+        (sum_sq / (bencher.samples.len() - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
     let rate = match throughput {
         Some(Throughput::Bytes(bytes)) if mean > Duration::ZERO => {
             format!("  {:>10.2} MiB/s", bytes as f64 / mean.as_secs_f64() / (1 << 20) as f64)
@@ -264,9 +280,10 @@ fn run_benchmark(
     println!("{label:<50} mean {mean:>12.3?}  best {best:>12.3?}{rate}");
     json::record(Estimate {
         id: label.to_owned(),
-        mean_ns: mean.as_nanos() as f64,
+        mean_ns,
         median_ns: median.as_nanos() as f64,
         best_ns: best.as_nanos() as f64,
+        stddev_ns,
         samples: bencher.samples.len(),
     });
 }
@@ -278,6 +295,7 @@ struct Estimate {
     mean_ns: f64,
     median_ns: f64,
     best_ns: f64,
+    stddev_ns: f64,
     samples: usize,
 }
 
@@ -357,11 +375,12 @@ mod json {
             let comma = if i + 1 == estimates.len() { "" } else { "," };
             out.push_str(&format!(
                 "    {{ \"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
-                 \"best_ns\": {:.1}, \"samples\": {} }}{comma}\n",
+                 \"best_ns\": {:.1}, \"stddev_ns\": {:.1}, \"samples\": {} }}{comma}\n",
                 escape(&e.id),
                 e.mean_ns,
                 e.median_ns,
                 e.best_ns,
+                e.stddev_ns,
                 e.samples
             ));
         }
@@ -425,6 +444,7 @@ mod tests {
                 mean_ns: 1234.5,
                 median_ns: 1200.0,
                 best_ns: 1100.25,
+                stddev_ns: 45.75,
                 samples: 30,
             },
             Estimate {
@@ -432,6 +452,7 @@ mod tests {
                 mean_ns: 2.0,
                 median_ns: 2.0,
                 best_ns: 1.0,
+                stddev_ns: 0.0,
                 samples: 10,
             },
         ];
@@ -440,6 +461,7 @@ mod tests {
         assert!(body.contains("\"threads\": 4,\n"));
         assert!(body.contains("\"sample_size\": 10,\n"));
         assert!(body.contains("\"id\": \"group/case/16\", \"mean_ns\": 1234.5"));
+        assert!(body.contains("\"stddev_ns\": 45.8"));
         assert!(body.contains("\\\"quote\\\""));
         assert!(body.contains("\"samples\": 30"));
         assert!(body.trim_end().ends_with('}'));
