@@ -278,8 +278,39 @@ fn compare(
     (rows, problems)
 }
 
+/// `BENCH_*.json` files at the repository root whose stem names no current bench
+/// target. A baseline for a deleted or renamed bench would otherwise sit checked in
+/// forever, silently asserting nothing — the check treats any such file as a hard
+/// error so the rename/removal that orphaned it also has to clean it up.
+fn stale_baseline_files(root: &Path) -> Vec<String> {
+    let mut stale = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return stale;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json")) else {
+            continue;
+        };
+        if !BENCHES.contains(&stem) {
+            stale.push(name.to_owned());
+        }
+    }
+    stale.sort();
+    stale
+}
+
 fn check(root: &Path, json_dir: &Path, tolerance: f64) -> Result<bool, String> {
     let mut ok = true;
+    for name in stale_baseline_files(root) {
+        println!(
+            "problem: `{name}` names no bench target (known: {}) — stale baseline; \
+             delete it or add the bench back",
+            BENCHES.join(", ")
+        );
+        ok = false;
+    }
     for bench in BENCHES {
         let baseline = load_report(&baseline_path(root, bench))?;
         let current = load_report(&current_path(json_dir, bench))?;
@@ -446,6 +477,25 @@ mod tests {
         let row = classify(&base, &cur, 0.5);
         assert!(!row.regressed);
         assert!(!row.within_noise);
+    }
+
+    #[test]
+    fn stale_baseline_files_flag_unknown_bench_stems() {
+        let dir = std::env::temp_dir().join(format!("neo-bench-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["BENCH_kernels.json", "BENCH_ghost.json", "BENCH_scheduler.json"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        // Non-baseline files and non-JSON files are ignored.
+        std::fs::write(dir.join("BENCHMARKS.md"), "").unwrap();
+        std::fs::write(dir.join("BENCH_notes.txt"), "").unwrap();
+        assert_eq!(stale_baseline_files(&dir), vec!["BENCH_ghost.json".to_owned()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn the_checked_in_baselines_are_not_stale() {
+        assert_eq!(stale_baseline_files(&repo_root()), Vec::<String>::new());
     }
 
     #[test]

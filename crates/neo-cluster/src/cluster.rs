@@ -1,0 +1,768 @@
+//! The fleet simulation: N servers, N links and a router in one event heap.
+//!
+//! # Anatomy
+//!
+//! ```text
+//!                        ┌─ link 0 ─► Server 0 (Engine 0)
+//!   Trace ──► Router ────┼─ link 1 ─► Server 1 (Engine 1)
+//!  (arrivals) (Discipline)└─ link 2 ─► Server 2 (Engine 2)
+//! ```
+//!
+//! All of it lives in one `ClusterState` (private), the shared state of a
+//! [`neo_sim::event::EventEngine`]. The registered components are *alarm clocks* only:
+//! each advertises when its entity next has work (`next_tick`) and, when dispatched,
+//! calls `ClusterState::settle` — the single function that actually moves the
+//! cluster. `settle(now)` repeatedly takes the earliest due instant and processes
+//! every event at it in a fixed kind order (link deliveries, then engine steps, then
+//! frontend arrivals, then central dispatch), so the simulation's outputs are
+//! independent of which same-tick alarm the event engine happened to dispatch first —
+//! the property the fuzzed tie-break seeds verify bit-exactly.
+//!
+//! # Time semantics
+//!
+//! Engine iterations are atomic ([`neo_serve::Server::poll`]): an iteration starting
+//! at or before the settled instant runs to completion, which may carry that engine's
+//! clock past it. Requests delivered to an engine whose clock has run ahead are
+//! admitted at the engine's current time — exactly the behaviour of a real engine that
+//! was mid-iteration when the request landed. Cluster-level TTFT is therefore measured
+//! from the *frontend* arrival (via streaming callbacks), never from the server-local
+//! admission time.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use neo_core::Engine;
+use neo_serve::metrics::LatencySummary;
+use neo_serve::Server;
+use neo_sim::event::{Component, ComponentId, EventEngine, SerialLine, TieBreak};
+use neo_workload::Trace;
+use serde::Serialize;
+
+use crate::discipline::Discipline;
+
+/// Configuration of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// How the router binds arrivals to engines.
+    pub discipline: Discipline,
+    /// `CFcfs` only: a request is dispatched once some engine's outstanding work
+    /// (queue depth + in-flight on its link) is below this window. 1 would starve
+    /// continuous batching; a few requests keep every engine's batch fed while the
+    /// central queue stays work-conserving.
+    pub dispatch_window: usize,
+    /// `DFcfs` only: remap one indirection-table entry from the deepest to the
+    /// shallowest engine every this many arrivals (0 = never rebalance).
+    pub rebalance_every: usize,
+    /// `DFcfs` only: indirection-table entries per engine (the table has
+    /// `engines × this` slots, initialized round-robin).
+    pub table_entries_per_engine: usize,
+    /// Propagation latency of each frontend→engine link, in seconds.
+    pub link_latency_s: f64,
+    /// Bandwidth of each frontend→engine link, in bytes per second.
+    pub link_bytes_per_s: f64,
+    /// Request payload priced on the link: bytes per prompt token.
+    pub bytes_per_token: f64,
+    /// Same-tick dispatch-order seed for the cluster event heap — `0` is the pinned
+    /// deterministic order, anything else a fuzzed permutation that must leave every
+    /// output bit-identical (see [`neo_sim::event::TieBreak::from_seed`]).
+    pub tie_break_seed: u64,
+    /// Event budget for the whole run (livelock guard).
+    pub max_events: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            discipline: Discipline::RoundRobin,
+            dispatch_window: 4,
+            rebalance_every: 32,
+            table_entries_per_engine: 4,
+            // A 10 Gbit/s datacenter hop with ~200 µs of RPC latency.
+            link_latency_s: 2e-4,
+            link_bytes_per_s: 1.25e9,
+            bytes_per_token: 4.0,
+            tie_break_seed: 0,
+            max_events: 5_000_000,
+        }
+    }
+}
+
+/// One routing decision, in binding order — the pinned determinism surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RouteRecord {
+    /// Frontend request id (its index in the arrival trace).
+    pub id: u64,
+    /// Binding time: the frontend arrival for early-binding disciplines, the central
+    /// dispatch instant for `CFcfs`.
+    pub time: f64,
+    /// Engine the request was bound to.
+    pub engine: usize,
+}
+
+/// Per-engine slice of a [`ClusterReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineSummary {
+    /// Engine name as registered with [`Cluster::new`].
+    pub name: String,
+    /// Requests routed to this engine.
+    pub routed: usize,
+    /// Requests it completed.
+    pub completed: usize,
+    /// Tokens it streamed.
+    pub streamed_tokens: u64,
+    /// Its engine clock when the cluster drained.
+    pub makespan: f64,
+    /// Fraction of its busy iterations that offloaded attention to the CPU.
+    pub offload_fraction: f64,
+}
+
+/// What a cluster run did, summarised when every request drained.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    /// Discipline label (resolvable via [`Discipline::from_label`]).
+    pub discipline: String,
+    /// Requests in the arrival trace.
+    pub requests: usize,
+    /// Requests completed across the fleet.
+    pub completed: usize,
+    /// Time the last engine finished.
+    pub makespan: f64,
+    /// Tokens streamed across the fleet.
+    pub streamed_tokens: u64,
+    /// Time-to-first-token measured from the *frontend* arrival.
+    pub ttft: Option<LatencySummary>,
+    /// Inter-token gaps, per request, across the fleet.
+    pub itl: Option<LatencySummary>,
+    /// `DFcfs`: indirection-table remaps performed.
+    pub rebalances: usize,
+    /// `CFcfs`: high-water mark of the central queue.
+    pub max_central_queue: usize,
+    /// Per-engine summaries, in registration order.
+    pub engines: Vec<EngineSummary>,
+    /// Every routing decision, in binding order.
+    pub routes: Vec<RouteRecord>,
+}
+
+/// One frontend request (a trace row with its global id implied by position).
+#[derive(Debug, Clone, Copy)]
+struct FrontendRequest {
+    arrival: f64,
+    prompt_len: usize,
+    output_len: usize,
+}
+
+/// One engine's seat in the cluster: its server, its link, and the requests in
+/// flight between router and engine.
+struct Slot {
+    name: String,
+    server: Server,
+    link: SerialLine,
+    /// `(deliver_at, id)` in delivery order (monotone: the link is serial FIFO).
+    inflight: VecDeque<(f64, u64)>,
+    routed: usize,
+    /// Prompt tokens routed here whose first token has not streamed yet — KV
+    /// commitments the engine's occupancy counters cannot see yet (the `LeastKv`
+    /// signal's in-flight term).
+    pending_prompt_tokens: usize,
+}
+
+/// Router bookkeeping shared by all disciplines.
+struct RouterState {
+    discipline: Discipline,
+    rr_next: usize,
+    /// `CFcfs` central FIFO of frontend ids.
+    central: VecDeque<u64>,
+    max_central: usize,
+    /// `DFcfs` indirection table: entry → engine.
+    table: Vec<usize>,
+    seq: usize,
+    arrivals_since_rebalance: usize,
+    rebalances: usize,
+}
+
+/// Token events observed by the per-request streaming callbacks.
+#[derive(Default)]
+struct TokenSink {
+    /// Emission times per frontend id.
+    token_times: Vec<Vec<f64>>,
+    /// Frontend ids whose first token arrived since the last settle drained them.
+    firsts: Vec<u64>,
+}
+
+/// Shared state of the cluster event engine. All movement happens in
+/// [`ClusterState::settle`]; the registered components only decide *when* it runs.
+pub(crate) struct ClusterState {
+    slots: Vec<Slot>,
+    requests: Vec<FrontendRequest>,
+    /// Cursor into `requests` (sorted by arrival): the next frontend arrival.
+    next_arrival: usize,
+    router: RouterState,
+    records: Vec<RouteRecord>,
+    /// Engine each frontend id was bound to (`usize::MAX` until routed).
+    engine_of: Vec<usize>,
+    token_sink: Rc<RefCell<TokenSink>>,
+    config: ClusterConfig,
+}
+
+impl ClusterState {
+    /// The earliest instant at which anything in the cluster has work: a link
+    /// delivery, an engine's next activity, or a frontend arrival. The central queue
+    /// needs no wake-up of its own — it only becomes dispatchable as a consequence of
+    /// one of these, and every settle pass ends with a dispatch attempt.
+    fn next_due(&self) -> Option<f64> {
+        let mut due: Option<f64> = None;
+        let mut fold = |t: f64| due = Some(due.map_or(t, |d: f64| d.min(t)));
+        for slot in &self.slots {
+            if let Some(&(deliver_at, _)) = slot.inflight.front() {
+                fold(deliver_at);
+            }
+            if let Some(at) = slot.server.next_activity() {
+                fold(at);
+            }
+        }
+        if let Some(request) = self.requests.get(self.next_arrival) {
+            fold(request.arrival);
+        }
+        due
+    }
+
+    /// Processes every cluster event due at or before `now`, earliest instant first,
+    /// and within one instant in the fixed kind order: link deliveries → engine
+    /// steps → frontend arrivals → central dispatch. This global order is what makes
+    /// every routing decision independent of the event heap's same-tick dispatch
+    /// order: whichever alarm called `settle` first, the cluster replays identically.
+    fn settle(&mut self, now: f64) {
+        let mut passes: u64 = 0;
+        while let Some(at) = self.next_due() {
+            if at > now {
+                break;
+            }
+            passes += 1;
+            assert!(
+                passes <= self.config.max_events,
+                "cluster settle livelocked at t={at} ({} requests pending)",
+                self.requests.len() - self.next_arrival
+            );
+            for e in 0..self.slots.len() {
+                while self.slots[e].inflight.front().is_some_and(|&(d, _)| d <= at) {
+                    let (deliver_at, id) = self.slots[e].inflight.pop_front().expect("peeked");
+                    self.deliver(e, deliver_at, id);
+                }
+            }
+            for e in 0..self.slots.len() {
+                if self.slots[e].server.next_activity().is_some_and(|t| t <= at) {
+                    self.slots[e].server.poll(at);
+                }
+            }
+            self.drain_sink();
+            while self.requests.get(self.next_arrival).is_some_and(|r| r.arrival <= at) {
+                let id = self.next_arrival as u64;
+                self.next_arrival += 1;
+                self.route(at, id);
+            }
+            self.dispatch_central(at);
+        }
+    }
+
+    /// Hands a delivered request to its engine's server, wiring the streaming
+    /// callback that timestamps every token against the frontend clock.
+    fn deliver(&mut self, engine: usize, at: f64, id: u64) {
+        let request = self.requests[id as usize];
+        let sink = Rc::clone(&self.token_sink);
+        self.slots[engine].server.submit_with_callback(
+            at,
+            request.prompt_len,
+            request.output_len,
+            move |event| {
+                let mut sink = sink.borrow_mut();
+                if event.index == 0 {
+                    sink.firsts.push(id);
+                }
+                sink.token_times[id as usize].push(event.time);
+            },
+        );
+    }
+
+    /// Releases the `pending_prompt_tokens` commitment of every request whose first
+    /// token streamed since the last drain (its prompt is now visible in the
+    /// engine's own KV occupancy counters).
+    fn drain_sink(&mut self) {
+        let firsts: Vec<u64> = self.token_sink.borrow_mut().firsts.drain(..).collect();
+        for id in firsts {
+            let engine = self.engine_of[id as usize];
+            let prompt = self.requests[id as usize].prompt_len;
+            self.slots[engine].pending_prompt_tokens =
+                self.slots[engine].pending_prompt_tokens.saturating_sub(prompt);
+        }
+    }
+
+    /// Routes one frontend arrival at time `at` under the configured discipline.
+    fn route(&mut self, at: f64, id: u64) {
+        match self.router.discipline {
+            Discipline::RoundRobin => {
+                let engine = self.router.rr_next % self.slots.len();
+                self.router.rr_next += 1;
+                self.bind(at, id, engine);
+            }
+            Discipline::DFcfs => {
+                let entry = self.router.seq % self.router.table.len();
+                self.router.seq += 1;
+                let engine = self.router.table[entry];
+                self.bind(at, id, engine);
+                self.maybe_rebalance();
+            }
+            Discipline::LeastKv => {
+                let engine = self.least_kv_engine();
+                self.bind(at, id, engine);
+            }
+            Discipline::CFcfs => {
+                self.router.central.push_back(id);
+                self.router.max_central = self.router.max_central.max(self.router.central.len());
+            }
+        }
+    }
+
+    /// Outstanding work per engine as the request-count disciplines see it: the
+    /// server's queue depth plus requests still in flight on the link.
+    fn outstanding(&self, engine: usize) -> usize {
+        self.slots[engine].server.queue_depth() + self.slots[engine].inflight.len()
+    }
+
+    /// `CFcfs` late binding: FIFO-dispatch from the central queue to the
+    /// least-outstanding engine (lowest id on ties) while one sits below the window.
+    fn dispatch_central(&mut self, at: f64) {
+        if self.router.discipline != Discipline::CFcfs {
+            return;
+        }
+        while !self.router.central.is_empty() {
+            let mut best = 0;
+            for e in 1..self.slots.len() {
+                if self.outstanding(e) < self.outstanding(best) {
+                    best = e;
+                }
+            }
+            if self.outstanding(best) >= self.config.dispatch_window {
+                break;
+            }
+            let id = self.router.central.pop_front().expect("non-empty");
+            self.bind(at, id, best);
+        }
+    }
+
+    /// The `LeastKv` pressure score of one engine: KV tokens resident on its fullest
+    /// rank plus in-flight prompt commitments, normalised by its tightest rank's KV
+    /// capacity — so a T4's small cache saturates its score long before an H100's.
+    fn kv_score(&self, engine: usize) -> f64 {
+        let slot = &self.slots[engine];
+        let capacity = slot
+            .server
+            .engine()
+            .rank_budgets()
+            .iter()
+            .map(|budget| budget.kv_capacity_tokens)
+            .min()
+            .unwrap_or(0)
+            .max(1);
+        let used = slot
+            .server
+            .engine()
+            .rank_occupancy()
+            .iter()
+            .map(|occupancy| occupancy.used_tokens)
+            .max()
+            .unwrap_or(0);
+        (used + slot.pending_prompt_tokens) as f64 / capacity as f64
+    }
+
+    fn least_kv_engine(&self) -> usize {
+        let mut best = 0;
+        let mut best_score = self.kv_score(0);
+        for e in 1..self.slots.len() {
+            let score = self.kv_score(e);
+            if score < best_score {
+                best = e;
+                best_score = score;
+            }
+        }
+        best
+    }
+
+    /// `DFcfs` correction knob: every `rebalance_every` arrivals, remap one
+    /// indirection-table entry from the deepest engine to the shallowest.
+    fn maybe_rebalance(&mut self) {
+        self.router.arrivals_since_rebalance += 1;
+        let every = self.config.rebalance_every;
+        if every == 0 || self.router.arrivals_since_rebalance < every {
+            return;
+        }
+        self.router.arrivals_since_rebalance = 0;
+        let depths: Vec<usize> = (0..self.slots.len()).map(|e| self.outstanding(e)).collect();
+        let mut deepest = 0;
+        let mut shallowest = 0;
+        for e in 1..depths.len() {
+            if depths[e] > depths[deepest] {
+                deepest = e;
+            }
+            if depths[e] < depths[shallowest] {
+                shallowest = e;
+            }
+        }
+        if depths[deepest] > depths[shallowest] {
+            if let Some(entry) = self.router.table.iter().position(|&e| e == deepest) {
+                self.router.table[entry] = shallowest;
+                self.router.rebalances += 1;
+            }
+        }
+    }
+
+    /// Binds request `id` to `engine` at time `at`: records the decision and puts
+    /// the request on the engine's link.
+    fn bind(&mut self, at: f64, id: u64, engine: usize) {
+        let request = self.requests[id as usize];
+        self.records.push(RouteRecord { id, time: at, engine });
+        self.engine_of[id as usize] = engine;
+        let bytes = request.prompt_len as f64 * self.config.bytes_per_token;
+        let deliver_at = self.slots[engine].link.delivery(at, bytes);
+        self.slots[engine].inflight.push_back((deliver_at, id));
+        self.slots[engine].pending_prompt_tokens += request.prompt_len;
+        self.slots[engine].routed += 1;
+    }
+
+    fn report(&self) -> ClusterReport {
+        let sink = self.token_sink.borrow();
+        let mut ttfts = Vec::new();
+        let mut gaps = Vec::new();
+        let mut streamed: u64 = 0;
+        for (id, times) in sink.token_times.iter().enumerate() {
+            streamed += times.len() as u64;
+            if let Some(&first) = times.first() {
+                ttfts.push(first - self.requests[id].arrival);
+            }
+            gaps.extend(times.windows(2).map(|w| w[1] - w[0]));
+        }
+        let engines: Vec<EngineSummary> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let server_report = slot.server.report();
+                EngineSummary {
+                    name: slot.name.clone(),
+                    routed: slot.routed,
+                    completed: server_report.completed,
+                    streamed_tokens: server_report.streamed_tokens,
+                    makespan: slot.server.now(),
+                    offload_fraction: server_report.offload_fraction,
+                }
+            })
+            .collect();
+        ClusterReport {
+            discipline: self.router.discipline.label().to_string(),
+            requests: self.requests.len(),
+            completed: engines.iter().map(|e| e.completed).sum(),
+            makespan: engines.iter().map(|e| e.makespan).fold(0.0, f64::max),
+            streamed_tokens: streamed,
+            ttft: LatencySummary::from_samples(&ttfts),
+            itl: LatencySummary::from_samples(&gaps),
+            rebalances: self.router.rebalances,
+            max_central_queue: self.router.max_central,
+            engines,
+            routes: self.records.clone(),
+        }
+    }
+}
+
+/// An alarm clock over one cluster entity. `kind`/`idx` select which entity's due
+/// time it advertises; every dispatch settles the whole cluster (idempotently), so
+/// same-tick alarm order cannot change any outcome.
+struct Alarm {
+    id: ComponentId,
+    name: String,
+    kind: AlarmKind,
+}
+
+enum AlarmKind {
+    /// Wakes at `Server::next_activity` of engine `idx`.
+    Engine { idx: usize },
+    /// Wakes at the head delivery time of link `idx`.
+    Link { idx: usize },
+    /// Wakes at the next frontend arrival.
+    Router,
+}
+
+impl Alarm {
+    fn due(&self, state: &ClusterState) -> Option<f64> {
+        match self.kind {
+            AlarmKind::Engine { idx } => state.slots[idx].server.next_activity(),
+            AlarmKind::Link { idx } => state.slots[idx].inflight.front().map(|&(d, _)| d),
+            AlarmKind::Router => {
+                state.requests.get(state.next_arrival).map(|request| request.arrival)
+            }
+        }
+    }
+}
+
+impl Component<ClusterState> for Alarm {
+    fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_tick(&self, state: &ClusterState) -> Option<f64> {
+        self.due(state)
+    }
+
+    fn tick(&mut self, now: f64, state: &mut ClusterState) -> Option<f64> {
+        state.settle(now);
+        self.due(state)
+    }
+
+    fn event_label(&self) -> String {
+        "settle".to_string()
+    }
+}
+
+/// A routed fleet of engines, ready to run a trace to completion.
+pub struct Cluster {
+    engine: EventEngine<ClusterState>,
+}
+
+impl Cluster {
+    /// Builds a cluster over named engines (fresh, exactly as [`Server::new`]
+    /// requires) serving the given arrival trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet is empty, a non-positive window/table size is configured
+    /// for the discipline that needs it, or any engine already holds requests.
+    pub fn new(engines: Vec<(String, Engine)>, trace: &Trace, config: ClusterConfig) -> Self {
+        assert!(!engines.is_empty(), "a cluster needs at least one engine");
+        assert!(
+            config.discipline != Discipline::CFcfs || config.dispatch_window >= 1,
+            "cFCFS needs a dispatch window of at least 1"
+        );
+        assert!(
+            config.discipline != Discipline::DFcfs || config.table_entries_per_engine >= 1,
+            "dFCFS needs at least one indirection-table entry per engine"
+        );
+        assert!(
+            config.bytes_per_token.is_finite() && config.bytes_per_token >= 0.0,
+            "bytes_per_token must be finite and >= 0"
+        );
+        let fleet_size = engines.len();
+        let slots: Vec<Slot> = engines
+            .into_iter()
+            .map(|(name, engine)| Slot {
+                name,
+                server: Server::new(engine),
+                link: SerialLine::new(config.link_latency_s, config.link_bytes_per_s),
+                inflight: VecDeque::new(),
+                routed: 0,
+                pending_prompt_tokens: 0,
+            })
+            .collect();
+        let requests: Vec<FrontendRequest> = trace
+            .requests()
+            .iter()
+            .map(|r| FrontendRequest {
+                arrival: r.arrival,
+                prompt_len: r.prompt_len,
+                output_len: r.output_len,
+            })
+            .collect();
+        let token_sink = Rc::new(RefCell::new(TokenSink {
+            token_times: vec![Vec::new(); requests.len()],
+            firsts: Vec::new(),
+        }));
+        let router = RouterState {
+            discipline: config.discipline,
+            rr_next: 0,
+            central: VecDeque::new(),
+            max_central: 0,
+            table: (0..fleet_size * config.table_entries_per_engine.max(1))
+                .map(|entry| entry % fleet_size)
+                .collect(),
+            seq: 0,
+            arrivals_since_rebalance: 0,
+            rebalances: 0,
+        };
+        let engine_names: Vec<String> = slots.iter().map(|s| s.name.clone()).collect();
+        let state = ClusterState {
+            slots,
+            engine_of: vec![usize::MAX; requests.len()],
+            requests,
+            next_arrival: 0,
+            router,
+            records: Vec::new(),
+            token_sink,
+            config: config.clone(),
+        };
+        let mut event_engine = EventEngine::new(state, TieBreak::from_seed(config.tie_break_seed));
+        let mut id = 0;
+        for (idx, name) in engine_names.iter().enumerate() {
+            event_engine.add_component(Box::new(Alarm {
+                id,
+                name: format!("engine.{name}"),
+                kind: AlarmKind::Engine { idx },
+            }));
+            id += 1;
+        }
+        for (idx, name) in engine_names.iter().enumerate() {
+            event_engine.add_component(Box::new(Alarm {
+                id,
+                name: format!("link.{name}"),
+                kind: AlarmKind::Link { idx },
+            }));
+            id += 1;
+        }
+        event_engine.add_component(Box::new(Alarm {
+            id,
+            name: "router".to_string(),
+            kind: AlarmKind::Router,
+        }));
+        Self { engine: event_engine }
+    }
+
+    /// Runs the fleet until every request drained and summarises the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds the configured event budget (livelock guard).
+    pub fn run(mut self) -> ClusterReport {
+        let max_events = self.engine.shared().config.max_events;
+        self.engine.run(max_events);
+        let (state, _) = self.engine.into_parts();
+        state.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_core::{EngineConfig, NeoScheduler};
+    use neo_sim::{CostModel, ModelDesc, Testbed};
+    use neo_workload::{synthetic, ArrivalProcess};
+
+    fn a10g_engine() -> Engine {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        Engine::new(cost, EngineConfig::default(), Box::new(NeoScheduler::new()))
+    }
+
+    fn t4_engine() -> Engine {
+        let cost = CostModel::new(ModelDesc::llama2_7b(), Testbed::g4dn_4xlarge(), 1);
+        Engine::new(cost, EngineConfig::default(), Box::new(NeoScheduler::new()))
+    }
+
+    fn homogeneous_pair() -> Vec<(String, Engine)> {
+        vec![("a10g-0".to_string(), a10g_engine()), ("a10g-1".to_string(), a10g_engine())]
+    }
+
+    fn run(
+        discipline: Discipline,
+        n: usize,
+        rate: f64,
+        fleet: Vec<(String, Engine)>,
+    ) -> ClusterReport {
+        let trace = synthetic(n, 300, 12, ArrivalProcess::Uniform { rate }, 11);
+        let config = ClusterConfig { discipline, ..ClusterConfig::default() };
+        Cluster::new(fleet, &trace, config).run()
+    }
+
+    #[test]
+    fn round_robin_splits_a_pair_evenly_and_serves_everything() {
+        let report = run(Discipline::RoundRobin, 10, 4.0, homogeneous_pair());
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.engines[0].routed, 5);
+        assert_eq!(report.engines[1].routed, 5);
+        assert_eq!(report.routes.len(), 10);
+        // Conservation: every output token of the trace streamed exactly once.
+        assert_eq!(report.streamed_tokens, report.engines.iter().map(|e| e.streamed_tokens).sum());
+        let ttft = report.ttft.expect("every request produced tokens");
+        assert_eq!(ttft.count, 10);
+        assert!(ttft.mean > 0.0, "TTFT is measured from the frontend arrival");
+    }
+
+    #[test]
+    fn cfcfs_binds_late_and_bounds_outstanding_work() {
+        // A burst at t=0: the central queue must engage and dispatch FIFO.
+        let trace = synthetic(12, 300, 12, ArrivalProcess::AllAtOnce, 5);
+        let config = ClusterConfig {
+            discipline: Discipline::CFcfs,
+            dispatch_window: 2,
+            ..ClusterConfig::default()
+        };
+        let report = Cluster::new(homogeneous_pair(), &trace, config).run();
+        assert_eq!(report.completed, 12);
+        assert!(report.max_central_queue >= 8, "the window must hold the burst back");
+        // Late binding: dispatch times are spread out even though all arrivals are 0.
+        assert!(report.routes.iter().any(|r| r.time > 0.0));
+        // FIFO: binding order is id order.
+        let ids: Vec<u64> = report.routes.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn dfcfs_rebalances_the_indirection_table_under_skew() {
+        // A fleet whose second engine is far slower (T4): static round-robin entries
+        // pile work on it, and the periodic remap must fire.
+        let fleet = vec![("a10g".to_string(), a10g_engine()), ("t4".to_string(), t4_engine())];
+        let trace = synthetic(40, 300, 12, ArrivalProcess::Uniform { rate: 6.0 }, 9);
+        let config = ClusterConfig {
+            discipline: Discipline::DFcfs,
+            rebalance_every: 8,
+            ..ClusterConfig::default()
+        };
+        let report = Cluster::new(fleet, &trace, config).run();
+        assert_eq!(report.completed, 40);
+        assert!(report.rebalances >= 1, "skew must trigger at least one remap");
+    }
+
+    #[test]
+    fn least_kv_loads_the_bigger_cache_harder_than_round_robin_does() {
+        let hetero = || vec![("a10g".to_string(), a10g_engine()), ("t4".to_string(), t4_engine())];
+        let rr = run(Discipline::RoundRobin, 24, 6.0, hetero());
+        let kv = run(Discipline::LeastKv, 24, 6.0, hetero());
+        assert_eq!(rr.completed, 24);
+        assert_eq!(kv.completed, 24);
+        assert_eq!(rr.engines[1].routed, 12, "round-robin ignores the T4's capacity");
+        assert!(
+            kv.engines[1].routed < rr.engines[1].routed,
+            "least-kv must route less work to the capacity-starved T4 ({} vs {})",
+            kv.engines[1].routed,
+            rr.engines[1].routed
+        );
+    }
+
+    #[test]
+    fn fuzzed_tie_break_seeds_leave_the_full_report_bit_identical() {
+        let reference = format!("{:?}", run(Discipline::LeastKv, 12, 5.0, homogeneous_pair()));
+        for seed in [1u64, 424242, u64::MAX] {
+            let trace = synthetic(12, 300, 12, ArrivalProcess::Uniform { rate: 5.0 }, 11);
+            let config = ClusterConfig {
+                discipline: Discipline::LeastKv,
+                tie_break_seed: seed,
+                ..ClusterConfig::default()
+            };
+            let fuzzed = format!("{:?}", Cluster::new(homogeneous_pair(), &trace, config).run());
+            assert_eq!(reference, fuzzed, "seed {seed} changed the cluster outcome");
+        }
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let report = run(Discipline::CFcfs, 8, 4.0, homogeneous_pair());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"discipline\""));
+        assert!(json.contains("cFCFS"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine")]
+    fn empty_fleet_is_rejected() {
+        let trace = synthetic(1, 100, 4, ArrivalProcess::AllAtOnce, 1);
+        let _ = Cluster::new(Vec::new(), &trace, ClusterConfig::default());
+    }
+}

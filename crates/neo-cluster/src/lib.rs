@@ -1,0 +1,57 @@
+//! Cluster-scale serving: a routed fleet of NEO engines under one simulated clock.
+//!
+//! The single-engine story ([`neo_serve::Server`] over [`neo_core::Engine`]) serves one
+//! GPU node. Millions of users mean a *fleet*: N servers — possibly heterogeneous
+//! (T4 + A10G + H100, each paired with the model it serves in the paper's Table 1) —
+//! fronted by a router that decides, per request, which engine gets it. This crate runs
+//! that fleet as one discrete-event simulation on the [`neo_sim::event::EventEngine`]:
+//!
+//! * each engine/server pair is a [`neo_sim::event::Component`] woken at its
+//!   [`neo_serve::Server::next_activity`] time and advanced with
+//!   [`neo_serve::Server::poll`];
+//! * each frontend→engine network hop is a serial FIFO link
+//!   ([`neo_sim::event::SerialLine`]) with its own component;
+//! * the router is a component woken at frontend arrival times, binding requests to
+//!   engines under a pluggable [`Discipline`].
+//!
+//! # Order-invariance by construction
+//!
+//! The event engine's contract is that same-tick dispatch order never matters
+//! ([`neo_sim::event::TieBreak::Fuzzed`] exists to prove it). Routing is the classic
+//! way to violate that: a router reading engine queue depths at tick *t* sees different
+//! depths depending on whether an engine's same-tick completion was dispatched first.
+//! This crate sidesteps the race structurally: components are pure *alarm clocks*.
+//! Every [`neo_sim::event::Component::tick`] funnels into one
+//! `ClusterState::settle(now)` pass that processes **all** cluster events due at or
+//! before `now` in a fixed global order — ascending time, then (within one instant)
+//! link deliveries → engine steps → frontend arrivals → central dispatch. Whichever
+//! alarm fires first settles the whole cluster identically, so every output (routing
+//! trace included) is bit-identical across fuzzed tie-break seeds. The
+//! `cluster_determinism` integration suite proptests this over ≥ 32 seeds and CI runs
+//! a fixed `NEO_EVENT_FUZZ_SEED` matrix.
+//!
+//! # Example
+//!
+//! ```
+//! use neo_cluster::{Cluster, ClusterConfig, Discipline};
+//! use neo_core::{Engine, EngineConfig, NeoScheduler};
+//! use neo_sim::{CostModel, ModelDesc, Testbed};
+//! use neo_workload::{synthetic, ArrivalProcess};
+//!
+//! let engine = |_| {
+//!     let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+//!     Engine::new(cost, EngineConfig::default(), Box::new(NeoScheduler::new()))
+//! };
+//! let fleet = vec![("a10g-0".to_string(), engine(0)), ("a10g-1".to_string(), engine(1))];
+//! let trace = synthetic(8, 300, 16, ArrivalProcess::Uniform { rate: 4.0 }, 7);
+//! let config = ClusterConfig { discipline: Discipline::LeastKv, ..ClusterConfig::default() };
+//! let report = Cluster::new(fleet, &trace, config).run();
+//! assert_eq!(report.completed, 8);
+//! assert_eq!(report.routes.len(), 8);
+//! ```
+
+pub mod cluster;
+pub mod discipline;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, EngineSummary, RouteRecord};
+pub use discipline::Discipline;

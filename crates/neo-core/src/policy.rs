@@ -224,6 +224,11 @@ impl<P: SchedulerPolicy> Scheduler for P {
         self.split_offload(ctx, &mut plan);
         let decision = self.select_mode(ctx, plan);
         if decision.is_idle() {
+            if let Some(victim) = stalled_prefill_victim(ctx) {
+                let mut unblock = ScheduleDecision::idle();
+                unblock.preempt.push(victim);
+                return unblock;
+            }
             ScheduleDecision::idle()
         } else {
             decision
@@ -233,6 +238,32 @@ impl<P: SchedulerPolicy> Scheduler for P {
     fn name(&self) -> &'static str {
         self.policy_name()
     }
+}
+
+/// Detects a prefill deadlock and picks the preemption victim that breaks it.
+///
+/// An idle decision while requests sit in the waitqueue means every phase found
+/// nothing runnable — which can only persist when partially-prefilled requests pin KV
+/// to a full device: each is stuck behind the others' partial chunks (its remaining
+/// chunks must stay on the device its earlier chunks landed on), and with nothing
+/// running, no completion will ever free memory. No phase of any bundled policy
+/// preempts *waiting* requests, so without intervention the engine idles forever.
+///
+/// The victim is the *newest* KV-holding request in the (arrival-ordered) waitqueue —
+/// the classic recompute-preemption choice: the head of the queue keeps its partial
+/// KV and therefore makes monotone progress once memory frees, guaranteeing the
+/// deadlock cannot re-form around the same request. Preempting by size instead (free
+/// the most memory first) looks attractive but livelocks: the repeatedly-victimised
+/// large request re-prefills the same chunks forever while never being the one whose
+/// completion releases memory.
+fn stalled_prefill_victim(ctx: &ScheduleContext<'_>) -> Option<u64> {
+    let mut victim = None;
+    for &id in ctx.waiting {
+        if ctx.context_len(id) > 0 {
+            victim = Some(id);
+        }
+    }
+    victim
 }
 
 #[cfg(test)]
@@ -333,6 +364,44 @@ mod tests {
         let d = p.schedule(&fx.ctx(&cm));
         assert!(d.is_idle());
         assert_eq!(d, ScheduleDecision::idle());
+    }
+
+    #[test]
+    fn prefill_deadlock_is_broken_by_preempting_the_newest_partial() {
+        // Two partially-prefilled requests pin KV to a full GPU; nothing runs, nothing
+        // can be admitted. The phase driver must preempt the newest one (id 2, last in
+        // the waitqueue) instead of idling forever, protecting the head's progress.
+        let mut fx = Fixture::new();
+        let mut small = Request::new(1, 0.0, 400, 10);
+        small.advance_prefill(100);
+        let mut large = Request::new(2, 0.0, 600, 10);
+        large.advance_prefill(300);
+        fx.requests.insert(1, small);
+        fx.requests.insert(2, large);
+        fx.waiting.extend([1, 2]);
+        fx.prefill_device.insert(1, Device::Gpu);
+        fx.prefill_device.insert(2, Device::Gpu);
+        let cm = cost();
+        let ctx = ScheduleContext { gpu_free_tokens: 0, cpu_free_tokens: 0, ..fx.ctx(&cm) };
+        let mut p = TrivialPolicy { phases_seen: vec![] };
+        let d = p.schedule(&ctx);
+        assert!(!d.is_idle(), "the deadlock-breaking decision must not be idle");
+        assert_eq!(d.preempt, vec![2]);
+        assert!(d.batch0.is_empty() && d.batch1.is_empty());
+    }
+
+    #[test]
+    fn idle_without_held_kv_stays_idle() {
+        // A waitqueue whose requests hold no KV yet is not a deadlock — admission may
+        // simply be budget-limited this iteration; the driver must not preempt.
+        let mut fx = Fixture::new();
+        fx.requests.insert(1, Request::new(1, 0.0, 200, 10));
+        fx.waiting.push(1);
+        let cm = cost();
+        let ctx = ScheduleContext { gpu_free_tokens: 0, cpu_free_tokens: 0, ..fx.ctx(&cm) };
+        let mut p = TrivialPolicy { phases_seen: vec![] };
+        let d = p.schedule(&ctx);
+        assert!(d.is_idle());
     }
 
     #[test]

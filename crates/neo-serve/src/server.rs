@@ -256,6 +256,78 @@ impl Server {
         self.backlog.len()
     }
 
+    /// Requests this server is responsible for but has not finished: the admission
+    /// backlog plus everything live inside the engine (waiting, prefilling, or
+    /// decoding). This is the load signal cluster routers compare across engines —
+    /// [`Server::backlog_len`] alone undercounts a busy server whose backlog is empty
+    /// but whose engine is full.
+    pub fn queue_depth(&self) -> usize {
+        self.backlog.len() + self.engine.live_requests()
+    }
+
+    /// The next simulated time this server has work to do, or `None` when it is
+    /// drained: the engine's clock while it is busy (the next iteration starts
+    /// immediately), otherwise the earliest pending arrival that will actually create
+    /// work (an arrival suppressed by an earlier-or-same-time pending cancel is
+    /// inert and never advances the clock — see [`Server::tick`]).
+    ///
+    /// This is the wake-up seam a cluster clock uses to interleave many servers: call
+    /// [`Server::poll`] once simulated time reaches the returned instant.
+    pub fn next_activity(&self) -> Option<f64> {
+        if !self.engine.is_idle() || !self.backlog.is_empty() {
+            return Some(self.engine.now());
+        }
+        // Earliest pending cancel per request id, as (time, seq) — the delivery order
+        // of the event heap — so a cancel due before a request's arrival is known to
+        // suppress it.
+        let mut cancels: std::collections::HashMap<u64, (f64, u64)> =
+            std::collections::HashMap::new();
+        for event in self.events.iter() {
+            if let EventKind::Cancel(id) = event.kind {
+                let key = (event.time, event.seq);
+                cancels
+                    .entry(id)
+                    .and_modify(|existing| {
+                        if key < *existing {
+                            *existing = key;
+                        }
+                    })
+                    .or_insert(key);
+            }
+        }
+        let mut earliest: Option<f64> = None;
+        for event in self.events.iter() {
+            if let EventKind::Arrival(id) = event.kind {
+                if self.sessions[id as usize].state != SessionState::Scheduled {
+                    continue;
+                }
+                if let Some(&(time, seq)) = cancels.get(&id) {
+                    if (time, seq) < (event.time, event.seq) {
+                        continue; // suppressed before it lands
+                    }
+                }
+                earliest = Some(earliest.map_or(event.time, |t: f64| t.min(event.time)));
+            }
+        }
+        earliest
+    }
+
+    /// Advances the loop through every piece of work that *starts* at or before
+    /// `horizon` and returns the number of engine iterations run. Iterations are
+    /// atomic: one starting at the horizon runs to completion even if it finishes
+    /// past it (the engine clock may end beyond `horizon`, exactly as a real engine
+    /// mid-iteration would). A drained server returns 0 immediately.
+    pub fn poll(&mut self, horizon: f64) -> u64 {
+        let mut steps = 0;
+        while self.next_activity().is_some_and(|t| t <= horizon) {
+            if !self.tick() {
+                break;
+            }
+            steps += 1;
+        }
+        steps
+    }
+
     /// Highest admission-backlog depth observed so far.
     pub fn max_backlog(&self) -> usize {
         self.max_backlog
@@ -720,6 +792,75 @@ mod tests {
         let first_early = server.sessions[early.id() as usize].token_times[0];
         assert!(first_early < first_late, "the earlier arrival streams first");
         assert!(report.makespan >= 2.0);
+    }
+
+    #[test]
+    fn queue_depth_counts_backlog_and_live_engine_requests() {
+        let config = EngineConfig { max_waiting_requests: 2, ..EngineConfig::default() };
+        let mut server = Server::new(engine_with(config));
+        assert_eq!(server.queue_depth(), 0);
+        for _ in 0..6 {
+            server.submit(0.0, 400, 8);
+        }
+        assert!(server.tick());
+        // Two admitted into the engine, four held in the server backlog: the router
+        // signal must count both.
+        assert_eq!(server.queue_depth(), server.backlog_len() + server.engine().live_requests());
+        assert!(server.queue_depth() >= 6 - 1, "nothing finished after one iteration");
+        let _ = server.run_until_idle();
+        assert_eq!(server.queue_depth(), 0);
+    }
+
+    #[test]
+    fn next_activity_tracks_arrivals_and_busy_engine_clock() {
+        let mut server = Server::new(engine());
+        assert_eq!(server.next_activity(), None);
+        server.submit(3.0, 100, 4);
+        server.submit(7.0, 100, 4);
+        assert_eq!(server.next_activity(), Some(3.0), "idle server wakes at the next arrival");
+        assert!(server.tick());
+        let busy = server.next_activity().expect("engine is busy");
+        assert_eq!(busy, server.now(), "a busy engine can start its next iteration now");
+        let _ = server.run_until_idle();
+        assert_eq!(server.next_activity(), None);
+    }
+
+    #[test]
+    fn next_activity_ignores_arrivals_suppressed_by_earlier_cancels() {
+        let mut server = Server::new(engine());
+        let doomed = server.submit(5.0, 100, 4);
+        server.cancel(doomed, 1.0);
+        // The only pending arrival is suppressed by the earlier cancel: waking at 5.0
+        // would only deliver inert events, so the server reports no activity.
+        assert_eq!(server.next_activity(), None);
+        let live = server.submit(8.0, 100, 4);
+        assert_eq!(server.next_activity(), Some(8.0));
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 1);
+        assert!(matches!(server.status(doomed), RequestStatus::Cancelled { generated: 0 }));
+        assert!(matches!(server.status(live), RequestStatus::Finished { .. }));
+    }
+
+    #[test]
+    fn poll_runs_only_work_starting_at_or_before_the_horizon() {
+        let mut server = Server::new(engine());
+        server.submit(0.0, 200, 6);
+        server.submit(50.0, 200, 6);
+        let steps = server.poll(10.0);
+        assert!(steps > 0, "the t=0 request runs inside the horizon");
+        assert_eq!(server.engine().completed().len(), 1);
+        assert_eq!(
+            server.next_activity(),
+            Some(50.0),
+            "the t=50 arrival is untouched by an earlier poll"
+        );
+        // Iterations are atomic: a poll exactly at an arrival runs its first
+        // iteration even though it finishes past the horizon.
+        let steps = server.poll(50.0);
+        assert!(steps >= 1);
+        assert!(server.now() >= 50.0);
+        let _ = server.run_until_idle();
+        assert_eq!(server.poll(f64::MAX), 0, "a drained server has nothing to poll");
     }
 
     #[test]

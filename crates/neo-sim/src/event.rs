@@ -329,6 +329,105 @@ impl<S> EventEngine<S> {
         }
         self.now
     }
+
+    /// The time of the earliest pending wake-up across all components, after
+    /// re-polling them against the current shared state (`None` when every component
+    /// is asleep). This is the scheduling seam cluster drivers use to interleave an
+    /// engine with external clocks without dispatching anything.
+    pub fn next_event_time(&mut self) -> Option<f64> {
+        self.sync_wakeups();
+        self.scheduled
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))))
+    }
+
+    /// Dispatches every event due at or before `horizon`, then advances the clock to
+    /// `horizon` (an idle stretch still moves simulated time). Returns the number of
+    /// events dispatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not finite, lies in the past, or more than
+    /// `max_events` events are dispatched before reaching it.
+    pub fn run_until(&mut self, horizon: f64, max_events: u64) -> u64 {
+        assert!(
+            horizon.is_finite() && horizon + 1e-12 >= self.now,
+            "run_until horizon {horizon} must be finite and not before now ({})",
+            self.now
+        );
+        let start = self.processed;
+        while self.next_event_time().is_some_and(|t| t <= horizon) {
+            self.step_event();
+            assert!(
+                self.processed - start <= max_events,
+                "event engine exceeded {max_events} events before {horizon} — \
+                 a component is livelocked"
+            );
+        }
+        self.now = self.now.max(horizon);
+        self.processed - start
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial links
+// ---------------------------------------------------------------------------
+
+/// A serial FIFO link: one transfer occupies the wire at a time, each for
+/// `bytes / bandwidth` seconds, and every delivery lands one propagation `latency`
+/// after its transfer drains. This is the inter-node primitive cluster components
+/// price frontend→engine hops with; the per-rank PCIe directions in
+/// [`crate::transfer`] stay closed-form.
+///
+/// Pricing is deterministic and order-dependent only on the call order of
+/// [`SerialLine::delivery`] — callers must offer transfers in a deterministic order
+/// (the cluster router offers them in routing order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerialLine {
+    /// Propagation latency added after a transfer drains, in seconds.
+    latency: f64,
+    /// Wire bandwidth in bytes per second.
+    bytes_per_s: f64,
+    /// Time the wire finishes its last accepted transfer.
+    free_at: f64,
+}
+
+impl SerialLine {
+    /// A link with the given propagation latency (seconds) and bandwidth (bytes/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency is negative/not finite or the bandwidth is not positive.
+    pub fn new(latency: f64, bytes_per_s: f64) -> Self {
+        assert!(latency.is_finite() && latency >= 0.0, "latency must be finite and >= 0");
+        assert!(
+            bytes_per_s.is_finite() && bytes_per_s > 0.0,
+            "bandwidth must be finite and positive"
+        );
+        Self { latency, bytes_per_s, free_at: 0.0 }
+    }
+
+    /// Accepts a transfer of `bytes` that becomes ready to send at `ready`, and
+    /// returns its delivery time: the wire serializes transfers FIFO in call order,
+    /// and the payload lands `latency` after its slot drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ready` is not finite or `bytes` is negative/not finite.
+    pub fn delivery(&mut self, ready: f64, bytes: f64) -> f64 {
+        assert!(ready.is_finite(), "ready time must be finite");
+        assert!(bytes.is_finite() && bytes >= 0.0, "transfer size must be finite and >= 0");
+        let start = self.free_at.max(ready);
+        self.free_at = start + bytes / self.bytes_per_s;
+        self.free_at + self.latency
+    }
+
+    /// Time the wire finishes its last accepted transfer (0 before any transfer).
+    pub fn free_at(&self) -> f64 {
+        self.free_at
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -732,6 +831,74 @@ mod tests {
             }
         }
         engine.add_component(Box::new(Wrong));
+    }
+
+    #[test]
+    fn next_event_time_peeks_without_dispatching() {
+        let mut engine = EventEngine::new(Vec::new(), TieBreak::ById);
+        engine.add_component(beeper(0, 3.0, 2));
+        engine.add_component(beeper(1, 2.0, 1));
+        assert_eq!(engine.next_event_time(), Some(2.0));
+        assert_eq!(engine.events_processed(), 0);
+        engine.run(100);
+        assert_eq!(engine.next_event_time(), None);
+    }
+
+    #[test]
+    fn run_until_stops_at_the_horizon_and_advances_idle_time() {
+        let mut engine = EventEngine::new(Vec::new(), TieBreak::ById);
+        engine.add_component(beeper(0, 2.0, 3));
+        // Events at 2 and 4 are due by 4.5; the one at 6 is not.
+        assert_eq!(engine.run_until(4.5, 100), 2);
+        assert_eq!(engine.now(), 4.5, "idle stretch advances the clock to the horizon");
+        assert_eq!(engine.shared().len(), 2);
+        assert_eq!(engine.run_until(10.0, 100), 1);
+        assert_eq!(engine.now(), 10.0);
+        // A horizon with nothing pending still moves time forward.
+        assert_eq!(engine.run_until(12.0, 100), 0);
+        assert_eq!(engine.now(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not before now")]
+    fn run_until_rejects_horizons_in_the_past() {
+        let mut engine = EventEngine::new(Vec::new(), TieBreak::ById);
+        engine.add_component(beeper(0, 1.0, 2));
+        engine.run(100);
+        engine.run_until(0.5, 100);
+    }
+
+    // -- serial line --------------------------------------------------------
+
+    #[test]
+    fn idle_serial_line_delivers_after_transfer_plus_latency() {
+        let mut line = SerialLine::new(0.5, 100.0);
+        // 200 bytes at 100 B/s = 2 s on the wire, landing 0.5 s later.
+        assert_eq!(line.delivery(1.0, 200.0), 3.5);
+        assert_eq!(line.free_at(), 3.0);
+    }
+
+    #[test]
+    fn serial_line_serializes_back_to_back_transfers_fifo() {
+        let mut line = SerialLine::new(0.1, 10.0);
+        let first = line.delivery(0.0, 20.0); // wire 0..2
+        let second = line.delivery(0.0, 10.0); // queued: wire 2..3
+        assert_eq!(first, 2.1);
+        assert_eq!(second, 3.1);
+        // A transfer ready after the wire drains is not delayed by the earlier ones.
+        assert_eq!(line.delivery(10.0, 10.0), 11.1);
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_only_latency() {
+        let mut line = SerialLine::new(0.25, 1.0);
+        assert_eq!(line.delivery(4.0, 0.0), 4.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn serial_line_rejects_zero_bandwidth() {
+        let _ = SerialLine::new(0.0, 0.0);
     }
 
     // -- task graph ---------------------------------------------------------

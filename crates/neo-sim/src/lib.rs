@@ -76,7 +76,7 @@ pub mod transfer;
 pub use clock::SimClock;
 pub use costmodel::{CostModel, RankBudget};
 pub use event::{
-    Component, ComponentId, EventEngine, EventRecord, TaskGraph, TaskGraphRun, TieBreak,
+    Component, ComponentId, EventEngine, EventRecord, SerialLine, TaskGraph, TaskGraphRun, TieBreak,
 };
 pub use hardware::{CpuSpec, GpuSpec, InterconnectSpec, PcieSpec, Testbed};
 pub use model_desc::ModelDesc;

@@ -82,6 +82,49 @@ pub fn synthetic(
     )
 }
 
+/// A fleet-level arrival stream: an AC-like coding population and an OSC-like chat
+/// population, generated independently and merged into one trace for a cluster router.
+///
+/// `ac_fraction` of the `n` requests (and of the total arrival `rate`) come from the
+/// heavy AC stream; the rest from the light OSC stream. Both are Poisson, seeded
+/// deterministically from `seed`, so the mix is reproducible.
+///
+/// Unlike [`azure_code_like`], the heavy stream's prompt tail is clamped to 2.8k
+/// tokens: a fleet trace must be admissible on *every* engine it can be routed to,
+/// and the smallest Table 1 pairing (LLaMa-2-7B on the T4, 4k context and a few
+/// thousand tokens of KV headroom) cannot admit the AC trace's 8k-token outliers at
+/// all — a capacity-blind router would wedge the T4 on them forever.
+///
+/// # Panics
+///
+/// Panics if `ac_fraction` is outside `[0, 1]` or `rate` is not positive.
+pub fn fleet_mix(n: usize, ac_fraction: f64, rate: f64, seed: u64) -> Trace {
+    assert!((0.0..=1.0).contains(&ac_fraction), "ac_fraction must be in [0, 1]");
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    let ac_n = (n as f64 * ac_fraction).round() as usize;
+    let osc_n = n - ac_n;
+    let mut parts = Vec::new();
+    if ac_n > 0 {
+        parts.push(generate(
+            ac_n,
+            // azure_code_like's length statistics with the tail clamped to what the
+            // smallest fleet engine can admit.
+            &LengthDistribution::LogNormal { mu: 7.3, sigma: 0.7, min: 64, max: 2816 },
+            &LengthDistribution::LogNormal { mu: 4.9, sigma: 0.8, min: 8, max: 1024 },
+            ArrivalProcess::Poisson { rate: rate * ac_fraction },
+            seed,
+        ));
+    }
+    if osc_n > 0 {
+        parts.push(osc_like(
+            osc_n,
+            ArrivalProcess::Poisson { rate: rate * (1.0 - ac_fraction) },
+            seed ^ 0x9E37_79B9_7F4A_7C15,
+        ));
+    }
+    parts.into_iter().fold(Trace::default(), |merged, part| merged.merge(&part))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +166,29 @@ mod tests {
         let c = azure_code_like(50, ArrivalProcess::Poisson { rate: 1.0 }, 8);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fleet_mix_blends_heavy_and_light_populations() {
+        let mix = fleet_mix(400, 0.5, 4.0, 17);
+        assert_eq!(mix.len(), 400);
+        let arrivals: Vec<f64> = mix.requests().iter().map(|r| r.arrival).collect();
+        assert!(arrivals.windows(2).all(|w| w[1] >= w[0]), "merged trace stays sorted");
+        // The mix sits strictly between the two pure populations.
+        let pure_ac = fleet_mix(400, 1.0, 4.0, 17).stats();
+        let pure_osc = fleet_mix(400, 0.0, 4.0, 17).stats();
+        let mixed = mix.stats();
+        assert!(mixed.mean_prompt < pure_ac.mean_prompt);
+        assert!(mixed.mean_prompt > pure_osc.mean_prompt);
+        // Deterministic per seed.
+        assert_eq!(mix, fleet_mix(400, 0.5, 4.0, 17));
+        assert_ne!(mix, fleet_mix(400, 0.5, 4.0, 18));
+    }
+
+    #[test]
+    #[should_panic(expected = "ac_fraction")]
+    fn fleet_mix_rejects_fractions_outside_the_unit_interval() {
+        let _ = fleet_mix(10, 1.5, 1.0, 1);
     }
 
     #[test]

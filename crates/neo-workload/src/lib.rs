@@ -32,6 +32,6 @@ pub mod lengths;
 pub mod trace;
 
 pub use arrivals::ArrivalProcess;
-pub use datasets::{azure_code_like, osc_like, synthetic};
+pub use datasets::{azure_code_like, fleet_mix, osc_like, synthetic};
 pub use lengths::LengthDistribution;
 pub use trace::{ArrivalEvent, ArrivalEvents, Trace, TraceRequest, TraceStats};

@@ -74,6 +74,18 @@ impl Trace {
         Trace { requests: self.requests.iter().take(n).copied().collect() }
     }
 
+    /// Merges two traces into one arrival stream, re-sorted by arrival time.
+    ///
+    /// This is how fleet-level workloads are assembled: each user population (e.g. an
+    /// AC-like coding stream and an OSC-like chat stream) is generated independently
+    /// and the router sees their interleaving. The sort is stable, so same-instant
+    /// arrivals keep `self`-before-`other` order and the merge is deterministic.
+    pub fn merge(&self, other: &Trace) -> Trace {
+        let mut requests = self.requests.clone();
+        requests.extend_from_slice(&other.requests);
+        Trace::new(requests)
+    }
+
     /// Summary statistics.
     ///
     /// # Panics
@@ -200,6 +212,28 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         assert!(sample().take(0).is_empty());
+    }
+
+    #[test]
+    fn merge_interleaves_two_traces_in_arrival_order() {
+        let a = Trace::new(vec![
+            TraceRequest { arrival: 0.0, prompt_len: 10, output_len: 1 },
+            TraceRequest { arrival: 2.0, prompt_len: 20, output_len: 2 },
+        ]);
+        let b = Trace::new(vec![TraceRequest { arrival: 1.0, prompt_len: 30, output_len: 3 }]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.len(), 3);
+        let arrivals: Vec<f64> = merged.requests().iter().map(|r| r.arrival).collect();
+        assert_eq!(arrivals, vec![0.0, 1.0, 2.0]);
+        assert_eq!(merged.requests()[1].prompt_len, 30);
+        // Stable on ties: self's request comes first.
+        let tie = a.merge(&Trace::new(vec![TraceRequest {
+            arrival: 0.0,
+            prompt_len: 99,
+            output_len: 9,
+        }]));
+        assert_eq!(tie.requests()[0].prompt_len, 10);
+        assert_eq!(tie.requests()[1].prompt_len, 99);
     }
 
     #[test]

@@ -230,6 +230,124 @@ fn fig10b_swiftllm_vllm_deserializes_and_covers_both_settings() {
 }
 
 #[derive(Debug, Deserialize)]
+struct ClusterSweepPoint {
+    fleet: String,
+    discipline: String,
+    rate: f64,
+    requests: usize,
+    completed: usize,
+    mean_ttft: f64,
+    p99_ttft: f64,
+    mean_itl: f64,
+    p99_itl: f64,
+    streamed_tokens: u64,
+    makespan: f64,
+}
+
+#[test]
+fn fig_cluster_sweep_deserializes_and_disciplines_are_registered() {
+    let points: Vec<ClusterSweepPoint> =
+        serde_json::from_str(&results_file("fig_cluster_sweep.json"))
+            .expect("valid fig_cluster_sweep JSON");
+    assert!(!points.is_empty());
+    for p in &points {
+        neo_cluster::Discipline::from_label(&p.discipline).unwrap_or_else(|| {
+            panic!("fig_cluster_sweep.json: discipline {:?} is not registered", p.discipline)
+        });
+        assert!(p.rate > 0.0);
+        assert_eq!(p.completed, p.requests, "every swept point must drain its trace");
+        assert!(p.mean_ttft.is_finite() && p.mean_ttft > 0.0);
+        assert!(p.p99_ttft >= p.mean_ttft * 0.5);
+        assert!(p.mean_itl.is_finite() && p.mean_itl > 0.0);
+        assert!(p.p99_itl >= p.mean_itl);
+        assert!(p.streamed_tokens > 0 && p.makespan > 0.0);
+    }
+    // Both fleets sweep every discipline over the same rate grid.
+    let fleets: Vec<&str> = {
+        let mut f: Vec<&str> = points.iter().map(|p| p.fleet.as_str()).collect();
+        f.dedup();
+        f
+    };
+    assert_eq!(fleets.len(), 2, "a homogeneous and a heterogeneous fleet");
+    let homogeneous = fleets[0];
+    let heterogeneous = fleets[1];
+    assert!(homogeneous.contains("homogeneous") && heterogeneous.contains("heterogeneous"));
+    for fleet in [homogeneous, heterogeneous] {
+        for d in neo_cluster::Discipline::ALL {
+            let series: Vec<&ClusterSweepPoint> =
+                points.iter().filter(|p| p.fleet == fleet && p.discipline == d.label()).collect();
+            assert!(series.len() >= 4, "{fleet}/{}: needs ≥4 swept rates", d.label());
+            assert!(series.windows(2).all(|w| w[1].rate > w[0].rate), "rates ascend");
+            // Token totals are conserved across disciplines and rates: the same trace
+            // serves every point of a fleet.
+            assert!(series.windows(2).all(|w| w[0].streamed_tokens == w[1].streamed_tokens));
+        }
+    }
+    // On the homogeneous fleet queueing dominates: mean latency columns are monotone
+    // in offered load for every discipline (the sweep compresses one fixed arrival
+    // sequence, so more load can only mean more queueing). The heterogeneous fleet is
+    // deliberately not pinned this way: preemption-recompute churn on the overloaded
+    // T4 makes capacity-blind curves nonlinear — that instability is the finding.
+    for d in neo_cluster::Discipline::ALL {
+        let series: Vec<&ClusterSweepPoint> =
+            points.iter().filter(|p| p.fleet == homogeneous && p.discipline == d.label()).collect();
+        assert!(
+            series.windows(2).all(|w| w[1].mean_ttft > w[0].mean_ttft),
+            "{}: homogeneous mean TTFT must rise with load",
+            d.label()
+        );
+        assert!(
+            series.windows(2).all(|w| w[1].mean_itl > w[0].mean_itl),
+            "{}: homogeneous mean ITL must rise with load",
+            d.label()
+        );
+    }
+    // On the heterogeneous fleet the capacity-aware discipline must beat every
+    // capacity-blind one at the two highest loads, and the four curves must be
+    // pairwise distinct.
+    let hetero_ttft = |d: neo_cluster::Discipline, rate: f64| {
+        points
+            .iter()
+            .find(|p| p.fleet == heterogeneous && p.discipline == d.label() && p.rate == rate)
+            .unwrap_or_else(|| panic!("missing {} at rate {rate}", d.label()))
+            .mean_ttft
+    };
+    let rates: Vec<f64> = points
+        .iter()
+        .filter(|p| p.fleet == heterogeneous && p.discipline == "least-kv")
+        .map(|p| p.rate)
+        .collect();
+    for &rate in &rates[rates.len() - 2..] {
+        let kv = hetero_ttft(neo_cluster::Discipline::LeastKv, rate);
+        for blind in [
+            neo_cluster::Discipline::RoundRobin,
+            neo_cluster::Discipline::CFcfs,
+            neo_cluster::Discipline::DFcfs,
+        ] {
+            assert!(
+                kv < hetero_ttft(blind, rate),
+                "least-kv must beat {} on the heterogeneous fleet at rate {rate}",
+                blind.label()
+            );
+        }
+    }
+    for (i, a) in neo_cluster::Discipline::ALL.iter().enumerate() {
+        for b in &neo_cluster::Discipline::ALL[i + 1..] {
+            let curve = |d: &neo_cluster::Discipline| {
+                rates.iter().map(|&r| hetero_ttft(*d, r)).collect::<Vec<f64>>()
+            };
+            assert_ne!(
+                curve(a),
+                curve(b),
+                "disciplines {} and {} must produce distinct heterogeneous curves",
+                a.label(),
+                b.label()
+            );
+        }
+    }
+}
+
+#[derive(Debug, Deserialize)]
 struct AblationRow {
     ablation: String,
     value: String,
