@@ -64,7 +64,7 @@ mod tests {
     fn all_decode_attention_runs_on_the_cpu() {
         let mut e = engine();
         for id in 0..10 {
-            e.submit(Request::new(id, 0.0, 300, 20));
+            e.submit(Request::new(id, 0.0, 300, 20)).unwrap();
         }
         let mut gpu_decode_seen = false;
         let mut cpu_decode_seen = false;
@@ -85,7 +85,7 @@ mod tests {
     #[test]
     fn kv_cache_lives_on_the_cpu() {
         let mut e = engine();
-        e.submit(Request::new(1, 0.0, 600, 50));
+        e.submit(Request::new(1, 0.0, 600, 50)).unwrap();
         // Run a handful of iterations, then check residency.
         for _ in 0..5 {
             e.step();

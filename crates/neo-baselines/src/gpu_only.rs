@@ -125,7 +125,7 @@ mod tests {
     fn vllm_like_completes_requests_without_cpu_use() {
         let mut e = engine(GpuOnlyScheduler::vllm_like());
         for id in 0..20 {
-            e.submit(Request::new(id, 0.0, 400, 20));
+            e.submit(Request::new(id, 0.0, 400, 20)).unwrap();
         }
         let mut offloaded = 0;
         while !e.is_idle() {
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn swiftllm_like_admits_whole_prompts() {
         let mut e = engine(GpuOnlyScheduler::swiftllm_like());
-        e.submit(Request::new(1, 0.0, 1500, 4));
+        e.submit(Request::new(1, 0.0, 1500, 4)).unwrap();
         let report = e.step();
         // Whole prompt in one go (fits the 2048-token default budget).
         assert_eq!(report.prefill_tokens, 1500);
@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn vllm_like_chunks_long_prompts() {
         let mut e = engine(GpuOnlyScheduler::vllm_like());
-        e.submit(Request::new(1, 0.0, 1500, 4));
+        e.submit(Request::new(1, 0.0, 1500, 4)).unwrap();
         let report = e.step();
         assert_eq!(report.prefill_tokens, EngineConfig::default().prefill_chunk);
     }
@@ -160,7 +160,7 @@ mod tests {
         let mut e =
             Engine::new(cost, EngineConfig::default(), Box::new(GpuOnlyScheduler::vllm_like()));
         for id in 0..64 {
-            e.submit(Request::new(id, 0.0, 300, 30));
+            e.submit(Request::new(id, 0.0, 300, 30)).unwrap();
         }
         e.run_to_completion(500_000);
         assert_eq!(e.completed().len(), 64, "requests must eventually finish by waiting");

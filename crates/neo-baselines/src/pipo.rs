@@ -83,7 +83,7 @@ mod tests {
     fn kv_lives_on_the_host_and_requests_finish() {
         let mut e = engine();
         for id in 0..8 {
-            e.submit(Request::new(id, 0.0, 400, 30));
+            e.submit(Request::new(id, 0.0, 400, 30)).unwrap();
         }
         for _ in 0..6 {
             e.step();
@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn decisions_are_streamed_mode() {
         let mut e = engine();
-        e.submit(Request::new(1, 0.0, 300, 20));
+        e.submit(Request::new(1, 0.0, 300, 20)).unwrap();
         let mut saw_streamed = false;
         while !e.is_idle() {
             let r = e.step();
@@ -113,7 +113,7 @@ mod tests {
     fn name_and_iterations_are_reported() {
         let mut e = engine();
         assert_eq!(e.scheduler_name(), "pipo");
-        e.submit(Request::new(1, 0.0, 100, 5));
+        e.submit(Request::new(1, 0.0, 100, 5)).unwrap();
         e.run_to_completion(10_000);
         assert_eq!(e.completed().len(), 1);
         assert_eq!(Scheduler::name(&PipoScheduler::new()), "pipo");
@@ -127,7 +127,7 @@ mod tests {
         let decode_iter_time = |ctx_len: usize| {
             let mut e = engine();
             for id in 0..16 {
-                e.submit(Request::new(id, 0.0, ctx_len, 30));
+                e.submit(Request::new(id, 0.0, ctx_len, 30)).unwrap();
             }
             let (mut total, mut n) = (0.0, 0u32);
             while !e.is_idle() {

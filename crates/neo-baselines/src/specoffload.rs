@@ -226,6 +226,7 @@ mod tests {
                 // candidates back to the GPU, so the speculation path stays exercised.
                 gpu_free_tokens: 100,
                 cpu_free_tokens: 400_000,
+                gpu_capacity_tokens: 100,
                 prefill_device: &self.prefill_device,
                 admission_backlog: 0,
             };
@@ -242,7 +243,7 @@ mod tests {
         let mut e = engine(Testbed::g5_xlarge(4), ModelDesc::llama3_8b());
         assert_eq!(e.scheduler_name(), "specoffload");
         for id in 0..16 {
-            e.submit(Request::new(id, 0.0, 300, 24));
+            e.submit(Request::new(id, 0.0, 300, 24)).unwrap();
         }
         e.run_to_completion(200_000);
         assert_eq!(e.completed().len(), 16);
@@ -255,7 +256,7 @@ mod tests {
         // speculation claims: offloaded decode iterations must appear.
         let mut e = engine(Testbed::g4dn_4xlarge(), ModelDesc::llama2_7b());
         for id in 0..48 {
-            e.submit(Request::new(id, 0.0, 250, 40));
+            e.submit(Request::new(id, 0.0, 250, 40)).unwrap();
         }
         let mut offloaded_iterations = 0;
         while !e.is_idle() {

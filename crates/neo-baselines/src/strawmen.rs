@@ -97,7 +97,7 @@ mod tests {
     fn run_workload(sched: Box<dyn Scheduler>) -> (f64, usize) {
         let mut e = engine(sched);
         for id in 0..24 {
-            e.submit(Request::new(id, 0.0, 400, 32));
+            e.submit(Request::new(id, 0.0, 400, 32)).unwrap();
         }
         e.run_to_completion(200_000);
         assert_eq!(e.completed().len(), 24);
@@ -131,7 +131,7 @@ mod tests {
         let mut e =
             Engine::new(cost, EngineConfig::default(), Box::new(SymmetricPipelineScheduler::new()));
         for id in 0..30 {
-            e.submit(Request::new(id, 0.0, 200, 40));
+            e.submit(Request::new(id, 0.0, 200, 40)).unwrap();
         }
         // After prefill settles, decode iterations should offload all 30 requests.
         let mut max_offloaded = 0;

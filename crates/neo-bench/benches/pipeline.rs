@@ -58,7 +58,7 @@ fn bench_engine_step(c: &mut Criterion) {
                 let mut engine =
                     Engine::new(cost, EngineConfig::default(), Box::new(NeoScheduler::new()));
                 for id in 0..64 {
-                    engine.submit(Request::new(id, 0.0, 500, 100));
+                    engine.submit(Request::new(id, 0.0, 500, 100)).unwrap();
                 }
                 // Warm the system past the initial prefill burst.
                 for _ in 0..5 {

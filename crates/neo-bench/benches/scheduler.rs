@@ -76,6 +76,7 @@ fn ctx(fx: &Fixture) -> ScheduleContext<'_> {
         cpu_run: &fx.cpu_run,
         gpu_free_tokens: 30_000,
         cpu_free_tokens: 300_000,
+        gpu_capacity_tokens: 30_000,
         prefill_device: &fx.prefill_device,
         admission_backlog: 0,
     }

@@ -13,10 +13,24 @@
 //! each advertises when its entity next has work (`next_tick`) and, when dispatched,
 //! calls `ClusterState::settle` — the single function that actually moves the
 //! cluster. `settle(now)` repeatedly takes the earliest due instant and processes
-//! every event at it in a fixed kind order (link deliveries, then engine steps, then
-//! frontend arrivals, then central dispatch), so the simulation's outputs are
-//! independent of which same-tick alarm the event engine happened to dispatch first —
-//! the property the fuzzed tie-break seeds verify bit-exactly.
+//! every event at it in a fixed kind order (faults, then link deliveries, then engine
+//! steps, then retry re-dispatch, then frontend arrivals, then central dispatch), so
+//! the simulation's outputs are independent of which same-tick alarm the event engine
+//! happened to dispatch first — the property the fuzzed tie-break seeds verify
+//! bit-exactly.
+//!
+//! # Failure model
+//!
+//! A [`FaultPlan`] injects timed faults as first-class events: engines fail-stop
+//! (losing their KV and orphaning everything they held), recover empty, links degrade
+//! and restore, and per-request deadlines expire. On an engine death the router marks
+//! the slot down and, when `failover` is enabled, re-dispatches the orphans to
+//! surviving engines with capped exponential backoff under a per-request retry
+//! budget — a retried request restarts from scratch (recompute, not migration) and
+//! its partial output is discarded. Requests that exhaust the budget, miss their SLO
+//! deadline, or fit no live engine are *shed* with a typed [`DropReason`]; every
+//! request therefore reaches exactly one terminal state (completed or dropped), the
+//! conservation contract `tests/fault_determinism.rs` proves.
 //!
 //! # Time semantics
 //!
@@ -34,12 +48,13 @@ use std::rc::Rc;
 
 use neo_core::Engine;
 use neo_serve::metrics::LatencySummary;
-use neo_serve::Server;
+use neo_serve::{DropReason, RequestHandle, Server};
 use neo_sim::event::{Component, ComponentId, EventEngine, SerialLine, TieBreak};
-use neo_workload::Trace;
+use neo_workload::{SloPolicy, Trace};
 use serde::Serialize;
 
 use crate::discipline::Discipline;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 
 /// Configuration of a cluster run.
 #[derive(Debug, Clone)]
@@ -69,6 +84,23 @@ pub struct ClusterConfig {
     pub tie_break_seed: u64,
     /// Event budget for the whole run (livelock guard).
     pub max_events: u64,
+    /// Timed faults to inject. The default (empty) plan leaves every output
+    /// byte-identical to a faultless run.
+    pub fault_plan: FaultPlan,
+    /// Whether orphans of a dead engine are re-dispatched to survivors. With
+    /// failover off, every request a failed engine held is shed on the spot.
+    pub failover: bool,
+    /// Re-dispatches allowed per request beyond its first dispatch; the attempt
+    /// after the budget is exhausted is shed as [`DropReason::RetriesExhausted`].
+    pub retry_budget: u32,
+    /// Backoff before the first re-dispatch, in seconds (doubled per retry).
+    pub backoff_base_s: f64,
+    /// Ceiling on the exponential backoff, in seconds.
+    pub backoff_cap_s: f64,
+    /// Completion-deadline policy. `None` disables deadline shedding; with a policy,
+    /// every request gets a `DeadlineExpire` fault at its deadline and is shed
+    /// (wherever it is) if still unfinished then.
+    pub slo: Option<SloPolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -84,8 +116,25 @@ impl Default for ClusterConfig {
             bytes_per_token: 4.0,
             tie_break_seed: 0,
             max_events: 5_000_000,
+            fault_plan: FaultPlan::default(),
+            failover: true,
+            retry_budget: 3,
+            backoff_base_s: 0.05,
+            backoff_cap_s: 1.0,
+            slo: None,
         }
     }
+}
+
+/// One shed request: when it was dropped and why ([`DropReason::label`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DropRecord {
+    /// Frontend request id.
+    pub id: u64,
+    /// Simulated instant the request was shed.
+    pub time: f64,
+    /// Drop reason label (snake_case, from [`DropReason::label`]).
+    pub reason: String,
 }
 
 /// One routing decision, in binding order — the pinned determinism surface.
@@ -111,6 +160,8 @@ pub struct EngineSummary {
     pub completed: usize,
     /// Tokens it streamed.
     pub streamed_tokens: u64,
+    /// Requests dropped while it held them (faults, deadlines, shedding).
+    pub dropped: usize,
     /// Its engine clock when the cluster drained.
     pub makespan: f64,
     /// Fraction of its busy iterations that offloaded attention to the CPU.
@@ -124,8 +175,12 @@ pub struct ClusterReport {
     pub discipline: String,
     /// Requests in the arrival trace.
     pub requests: usize,
-    /// Requests completed across the fleet.
+    /// Requests completed across the fleet (goodput; `requests - dropped`).
     pub completed: usize,
+    /// Requests shed with a typed drop reason.
+    pub dropped: usize,
+    /// Re-dispatches performed by the failover path (beyond first dispatches).
+    pub retries: u64,
     /// Time the last engine finished.
     pub makespan: f64,
     /// Tokens streamed across the fleet.
@@ -140,8 +195,10 @@ pub struct ClusterReport {
     pub max_central_queue: usize,
     /// Per-engine summaries, in registration order.
     pub engines: Vec<EngineSummary>,
-    /// Every routing decision, in binding order.
+    /// Every routing decision, in binding order (retries append new records).
     pub routes: Vec<RouteRecord>,
+    /// Every shed request, in drop order.
+    pub drops: Vec<DropRecord>,
 }
 
 /// One frontend request (a trace row with its global id implied by position).
@@ -165,6 +222,43 @@ struct Slot {
     /// commitments the engine's occupancy counters cannot see yet (the `LeastKv`
     /// signal's in-flight term).
     pending_prompt_tokens: usize,
+    /// Whether the engine is in service; a down slot admits nothing and has no
+    /// activity until an `EngineRecover` fault.
+    up: bool,
+    /// Largest context (prompt + output + 1) any pool of this engine can ever hold —
+    /// the admissibility bound for routing.
+    capacity: usize,
+}
+
+/// Where a live request currently sits — the index the failover path uses to find
+/// and detach it.
+#[derive(Debug, Clone, Copy)]
+enum Site {
+    /// Not yet routed, or already terminal.
+    Idle,
+    /// On engine `e`'s frontend link.
+    OnLink(usize),
+    /// Admitted by engine `e`'s server under this handle.
+    OnServer(usize, RequestHandle),
+    /// In the `CFcfs` central queue.
+    CentralQueue,
+    /// Waiting out a failover backoff.
+    RetryQueue,
+}
+
+/// Terminal-state ledger entry: exactly one of these outcomes per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Pending,
+    Completed,
+    Dropped,
+}
+
+/// One parked failover candidate: re-dispatchable from `ready_at`.
+#[derive(Debug, Clone, Copy)]
+struct RetryEntry {
+    ready_at: f64,
+    id: u64,
 }
 
 /// Router bookkeeping shared by all disciplines.
@@ -188,6 +282,8 @@ struct TokenSink {
     token_times: Vec<Vec<f64>>,
     /// Frontend ids whose first token arrived since the last settle drained them.
     firsts: Vec<u64>,
+    /// Frontend ids whose last token arrived since the last settle drained them.
+    lasts: Vec<u64>,
 }
 
 /// Shared state of the cluster event engine. All movement happens in
@@ -202,14 +298,33 @@ pub(crate) struct ClusterState {
     /// Engine each frontend id was bound to (`usize::MAX` until routed).
     engine_of: Vec<usize>,
     token_sink: Rc<RefCell<TokenSink>>,
+    /// Fault plan (plus SLO deadline events), sorted by time; `fault_cursor` is the
+    /// next unapplied event.
+    fault_events: Vec<FaultEvent>,
+    fault_cursor: usize,
+    /// Where each frontend id currently sits.
+    site: Vec<Site>,
+    /// Terminal-state ledger: exactly one outcome per request.
+    outcome: Vec<Outcome>,
+    /// Dispatches so far per request (first dispatch counts; retries increment).
+    attempts: Vec<u32>,
+    /// Completion deadline per request (`f64::INFINITY` without an SLO policy).
+    deadline: Vec<f64>,
+    /// Orphans waiting out their failover backoff.
+    retry_queue: Vec<RetryEntry>,
+    /// Every shed request, in drop order.
+    drops: Vec<DropRecord>,
+    /// Re-dispatches performed (beyond first dispatches).
+    retries: u64,
     config: ClusterConfig,
 }
 
 impl ClusterState {
-    /// The earliest instant at which anything in the cluster has work: a link
-    /// delivery, an engine's next activity, or a frontend arrival. The central queue
-    /// needs no wake-up of its own — it only becomes dispatchable as a consequence of
-    /// one of these, and every settle pass ends with a dispatch attempt.
+    /// The earliest instant at which anything in the cluster has work: a fault, a
+    /// link delivery, an engine's next activity, a retry coming off backoff, or a
+    /// frontend arrival. The central queue needs no wake-up of its own — it only
+    /// becomes dispatchable as a consequence of one of these, and every settle pass
+    /// ends with a dispatch attempt.
     fn next_due(&self) -> Option<f64> {
         let mut due: Option<f64> = None;
         let mut fold = |t: f64| due = Some(due.map_or(t, |d: f64| d.min(t)));
@@ -224,14 +339,47 @@ impl ClusterState {
         if let Some(request) = self.requests.get(self.next_arrival) {
             fold(request.arrival);
         }
+        if let Some(at) = self.fault_due() {
+            fold(at);
+        }
+        if let Some(at) = self.retry_due() {
+            fold(at);
+        }
+        due
+    }
+
+    /// The next fault event that would actually do something. A `DeadlineExpire` of
+    /// an already-terminal request is a no-op and must not wake the cluster (it is
+    /// still consumed, cursor-advancing, whenever a real event settles past it).
+    fn fault_due(&self) -> Option<f64> {
+        self.fault_events[self.fault_cursor..]
+            .iter()
+            .find(|event| {
+                !(event.kind == FaultKind::DeadlineExpire
+                    && self.outcome[event.request as usize] != Outcome::Pending)
+            })
+            .map(|event| event.at)
+    }
+
+    /// The earliest `ready_at` among parked retries that have somewhere to go. An
+    /// entry with no live admissible engine stays asleep — an `EngineRecover` fault
+    /// (or `finalize`) is what eventually resolves it.
+    fn retry_due(&self) -> Option<f64> {
+        let mut due: Option<f64> = None;
+        for entry in &self.retry_queue {
+            if (0..self.slots.len()).any(|e| self.eligible(entry.id, e)) {
+                due = Some(due.map_or(entry.ready_at, |d: f64| d.min(entry.ready_at)));
+            }
+        }
         due
     }
 
     /// Processes every cluster event due at or before `now`, earliest instant first,
-    /// and within one instant in the fixed kind order: link deliveries → engine
-    /// steps → frontend arrivals → central dispatch. This global order is what makes
-    /// every routing decision independent of the event heap's same-tick dispatch
-    /// order: whichever alarm called `settle` first, the cluster replays identically.
+    /// and within one instant in the fixed kind order: faults → link deliveries →
+    /// engine steps → retry re-dispatch → frontend arrivals → central dispatch. This
+    /// global order is what makes every routing decision independent of the event
+    /// heap's same-tick dispatch order: whichever alarm called `settle` first, the
+    /// cluster replays identically.
     fn settle(&mut self, now: f64) {
         let mut passes: u64 = 0;
         while let Some(at) = self.next_due() {
@@ -244,6 +392,7 @@ impl ClusterState {
                 "cluster settle livelocked at t={at} ({} requests pending)",
                 self.requests.len() - self.next_arrival
             );
+            self.apply_faults(at);
             for e in 0..self.slots.len() {
                 while self.slots[e].inflight.front().is_some_and(|&(d, _)| d <= at) {
                     let (deliver_at, id) = self.slots[e].inflight.pop_front().expect("peeked");
@@ -256,21 +405,221 @@ impl ClusterState {
                 }
             }
             self.drain_sink();
+            self.process_retries(at);
             while self.requests.get(self.next_arrival).is_some_and(|r| r.arrival <= at) {
                 let id = self.next_arrival as u64;
                 self.next_arrival += 1;
-                self.route(at, id);
+                if self.outcome[id as usize] == Outcome::Pending {
+                    self.route(at, id);
+                }
             }
             self.dispatch_central(at);
         }
     }
 
-    /// Hands a delivered request to its engine's server, wiring the streaming
-    /// callback that timestamps every token against the frontend clock.
-    fn deliver(&mut self, engine: usize, at: f64, id: u64) {
+    /// Applies every fault event due at or before `at`, in plan order.
+    fn apply_faults(&mut self, at: f64) {
+        while self.fault_events.get(self.fault_cursor).is_some_and(|event| event.at <= at) {
+            let event = self.fault_events[self.fault_cursor];
+            self.fault_cursor += 1;
+            match event.kind {
+                FaultKind::EngineFail => self.fail_engine(event.at, event.engine),
+                FaultKind::EngineRecover => {
+                    if !self.slots[event.engine].up {
+                        self.slots[event.engine].server.recover();
+                        self.slots[event.engine].up = true;
+                    }
+                }
+                FaultKind::LinkDegrade => {
+                    let link = &mut self.slots[event.engine].link;
+                    let latency = self.config.link_latency_s + event.added_latency_s;
+                    link.reconfigure(
+                        latency,
+                        self.config.link_bytes_per_s * event.bandwidth_factor,
+                    );
+                }
+                FaultKind::LinkRestore => {
+                    let link = &mut self.slots[event.engine].link;
+                    link.reconfigure(self.config.link_latency_s, self.config.link_bytes_per_s);
+                }
+                FaultKind::DeadlineExpire => {
+                    // Completions already streamed this instant must win the tie.
+                    self.drain_sink();
+                    if self.outcome[event.request as usize] == Outcome::Pending {
+                        self.drop_request(event.at, event.request, DropReason::DeadlineExpired);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fail-stops engine `e` at `at`: its KV is lost, the slot goes down, and every
+    /// request it held (on the link or admitted) is orphaned in id order.
+    fn fail_engine(&mut self, at: f64, engine: usize) {
+        if !self.slots[engine].up {
+            return;
+        }
+        // Tokens streamed before the fault landed are real; account them first.
+        self.drain_sink();
+        let _ = self.slots[engine].server.fail();
+        self.slots[engine].up = false;
+        self.slots[engine].inflight.clear();
+        self.slots[engine].pending_prompt_tokens = 0;
+        let victims: Vec<u64> = self
+            .site
+            .iter()
+            .enumerate()
+            .filter(
+                |(_, site)| matches!(site, Site::OnLink(e) | Site::OnServer(e, _) if *e == engine),
+            )
+            .map(|(id, _)| id as u64)
+            .collect();
+        for id in victims {
+            self.site[id as usize] = Site::Idle;
+            self.token_sink.borrow_mut().token_times[id as usize].clear();
+            self.orphan(at, id);
+        }
+    }
+
+    /// Decides the fate of a detached live request (its `site` must already be
+    /// `Idle` and its slot accounting settled): park it for a retry, or shed it.
+    fn orphan(&mut self, at: f64, id: u64) {
+        let idx = id as usize;
+        self.token_sink.borrow_mut().token_times[idx].clear();
+        if !self.config.failover {
+            self.drop_request(at, id, DropReason::EngineFailed);
+            return;
+        }
+        let attempts = self.attempts[idx];
+        if attempts > self.config.retry_budget {
+            self.drop_request(at, id, DropReason::RetriesExhausted);
+            return;
+        }
+        let exponent = attempts.saturating_sub(1).min(30);
+        let delay =
+            (self.config.backoff_base_s * (1u64 << exponent) as f64).min(self.config.backoff_cap_s);
+        let ready_at = at + delay;
+        if ready_at >= self.deadline[idx] {
+            self.drop_request(at, id, DropReason::DeadlineExpired);
+            return;
+        }
+        self.site[idx] = Site::RetryQueue;
+        self.retry_queue.push(RetryEntry { ready_at, id });
+    }
+
+    /// Sheds request `id`: detaches it from wherever it sits, marks it terminal, and
+    /// records the typed reason.
+    fn drop_request(&mut self, at: f64, id: u64, reason: DropReason) {
+        let idx = id as usize;
+        match self.site[idx] {
+            Site::OnLink(e) => {
+                self.slots[e].inflight.retain(|&(_, x)| x != id);
+                let prompt = self.requests[idx].prompt_len;
+                self.slots[e].pending_prompt_tokens =
+                    self.slots[e].pending_prompt_tokens.saturating_sub(prompt);
+            }
+            Site::OnServer(e, handle) => {
+                if self.token_sink.borrow().token_times[idx].is_empty() {
+                    let prompt = self.requests[idx].prompt_len;
+                    self.slots[e].pending_prompt_tokens =
+                        self.slots[e].pending_prompt_tokens.saturating_sub(prompt);
+                }
+                self.slots[e].server.drop_now(handle, reason);
+            }
+            Site::CentralQueue => self.router.central.retain(|&x| x != id),
+            Site::RetryQueue => self.retry_queue.retain(|entry| entry.id != id),
+            Site::Idle => {}
+        }
+        self.token_sink.borrow_mut().token_times[idx].clear();
+        self.site[idx] = Site::Idle;
+        self.outcome[idx] = Outcome::Dropped;
+        self.drops.push(DropRecord { id, time: at, reason: reason.label().to_string() });
+    }
+
+    /// Re-dispatches parked orphans whose backoff elapsed, earliest (`ready_at`,
+    /// `id`) first, each to the least-outstanding live admissible engine. An entry
+    /// with no eligible engine while *some* engine is up can never be served (engines
+    /// don't gain capacity) and is shed; with the whole fleet down it stays parked.
+    fn process_retries(&mut self, at: f64) {
+        loop {
+            let mut pick: Option<(usize, f64, u64)> = None;
+            for (slot, entry) in self.retry_queue.iter().enumerate() {
+                if entry.ready_at <= at
+                    && pick.map_or(true, |(_, t, i)| (entry.ready_at, entry.id) < (t, i))
+                {
+                    pick = Some((slot, entry.ready_at, entry.id));
+                }
+            }
+            let Some((slot, _, id)) = pick else { break };
+            let eligible: Vec<usize> =
+                (0..self.slots.len()).filter(|&e| self.eligible(id, e)).collect();
+            if eligible.is_empty() {
+                if self.slots.iter().any(|s| s.up) {
+                    self.retry_queue.remove(slot);
+                    self.site[id as usize] = Site::Idle;
+                    self.drop_request(at, id, DropReason::NoAdmissibleEngine);
+                    continue;
+                }
+                break;
+            }
+            self.retry_queue.remove(slot);
+            self.site[id as usize] = Site::Idle;
+            let best = eligible
+                .iter()
+                .copied()
+                .min_by_key(|&e| (self.outstanding(e), e))
+                .expect("non-empty");
+            if self.attempts[id as usize] >= 1 {
+                self.retries += 1;
+            }
+            self.bind(at, id, best);
+        }
+    }
+
+    /// Whether engine `e` is live and could ever serve request `id` (its full
+    /// context fits the engine's largest pool).
+    fn eligible(&self, id: u64, engine: usize) -> bool {
+        self.slots[engine].up && self.admissible(id, engine)
+    }
+
+    /// Whether request `id`'s full context fits engine `e`'s largest pool,
+    /// regardless of the engine being up.
+    fn admissible(&self, id: u64, engine: usize) -> bool {
         let request = self.requests[id as usize];
+        request.prompt_len + request.output_len < self.slots[engine].capacity
+    }
+
+    /// Terminal sweep after the event core drains: anything still pending can only
+    /// be parked against a fleet that never recovered — shed it so every request
+    /// ends in exactly one terminal state.
+    fn finalize(&mut self) {
+        let at = self.slots.iter().map(|slot| slot.server.now()).fold(0.0, f64::max);
+        for id in 0..self.requests.len() {
+            if self.outcome[id] == Outcome::Pending {
+                self.drop_request(at, id as u64, DropReason::EngineFailed);
+            }
+        }
+    }
+
+    /// Hands a delivered request to its engine's server, wiring the streaming
+    /// callback that timestamps every token against the frontend clock. A rejected
+    /// or undeliverable submission re-enters the failover path.
+    fn deliver(&mut self, engine: usize, at: f64, id: u64) {
+        let idx = id as usize;
+        if self.outcome[idx] != Outcome::Pending {
+            return;
+        }
+        let request = self.requests[idx];
+        if !self.slots[engine].up {
+            // The wire outlived the engine: treat the delivery as lost.
+            self.slots[engine].pending_prompt_tokens =
+                self.slots[engine].pending_prompt_tokens.saturating_sub(request.prompt_len);
+            self.site[idx] = Site::Idle;
+            self.orphan(at, id);
+            return;
+        }
         let sink = Rc::clone(&self.token_sink);
-        self.slots[engine].server.submit_with_callback(
+        let submitted = self.slots[engine].server.submit_with_callback(
             at,
             request.prompt_len,
             request.output_len,
@@ -279,48 +628,106 @@ impl ClusterState {
                 if event.index == 0 {
                     sink.firsts.push(id);
                 }
+                if event.is_last {
+                    sink.lasts.push(id);
+                }
                 sink.token_times[id as usize].push(event.time);
             },
         );
+        match submitted {
+            Ok(handle) => self.site[idx] = Site::OnServer(engine, handle),
+            Err(_) => {
+                self.slots[engine].pending_prompt_tokens =
+                    self.slots[engine].pending_prompt_tokens.saturating_sub(request.prompt_len);
+                self.site[idx] = Site::Idle;
+                self.orphan(at, id);
+            }
+        }
     }
 
     /// Releases the `pending_prompt_tokens` commitment of every request whose first
     /// token streamed since the last drain (its prompt is now visible in the
-    /// engine's own KV occupancy counters).
+    /// engine's own KV occupancy counters), and marks requests whose last token
+    /// streamed as completed.
     fn drain_sink(&mut self) {
-        let firsts: Vec<u64> = self.token_sink.borrow_mut().firsts.drain(..).collect();
+        let (firsts, lasts): (Vec<u64>, Vec<u64>) = {
+            let mut sink = self.token_sink.borrow_mut();
+            (sink.firsts.drain(..).collect(), sink.lasts.drain(..).collect())
+        };
         for id in firsts {
             let engine = self.engine_of[id as usize];
             let prompt = self.requests[id as usize].prompt_len;
             self.slots[engine].pending_prompt_tokens =
                 self.slots[engine].pending_prompt_tokens.saturating_sub(prompt);
         }
+        for id in lasts {
+            if self.outcome[id as usize] == Outcome::Pending {
+                self.outcome[id as usize] = Outcome::Completed;
+                self.site[id as usize] = Site::Idle;
+            }
+        }
     }
 
-    /// Routes one frontend arrival at time `at` under the configured discipline.
+    /// Routes one frontend arrival at time `at` under the configured discipline,
+    /// skipping engines that are down or too small for the request. An arrival no
+    /// engine could *ever* hold is shed typed; one that merely has nowhere live to
+    /// go right now enters the failover path.
     fn route(&mut self, at: f64, id: u64) {
+        if !(0..self.slots.len()).any(|e| self.admissible(id, e)) {
+            self.drop_request(at, id, DropReason::NoAdmissibleEngine);
+            return;
+        }
         match self.router.discipline {
             Discipline::RoundRobin => {
-                let engine = self.router.rr_next % self.slots.len();
-                self.router.rr_next += 1;
-                self.bind(at, id, engine);
+                let fleet = self.slots.len();
+                let start = self.router.rr_next;
+                let chosen = (0..fleet)
+                    .map(|k| (start + k) % fleet)
+                    .enumerate()
+                    .find(|&(_, e)| self.eligible(id, e));
+                match chosen {
+                    Some((k, engine)) => {
+                        self.router.rr_next = start + k + 1;
+                        self.bind(at, id, engine);
+                    }
+                    None => self.fallback_unroutable(at, id),
+                }
             }
             Discipline::DFcfs => {
                 let entry = self.router.seq % self.router.table.len();
                 self.router.seq += 1;
                 let engine = self.router.table[entry];
-                self.bind(at, id, engine);
+                if self.eligible(id, engine) {
+                    self.bind(at, id, engine);
+                } else {
+                    // The table pointed somewhere dead or too small; fall back to
+                    // the least-outstanding engine that can take it.
+                    let best = (0..self.slots.len())
+                        .filter(|&e| self.eligible(id, e))
+                        .min_by_key(|&e| (self.outstanding(e), e));
+                    match best {
+                        Some(engine) => self.bind(at, id, engine),
+                        None => self.fallback_unroutable(at, id),
+                    }
+                }
                 self.maybe_rebalance();
             }
-            Discipline::LeastKv => {
-                let engine = self.least_kv_engine();
-                self.bind(at, id, engine);
-            }
+            Discipline::LeastKv => match self.least_kv_engine(id) {
+                Some(engine) => self.bind(at, id, engine),
+                None => self.fallback_unroutable(at, id),
+            },
             Discipline::CFcfs => {
+                self.site[id as usize] = Site::CentralQueue;
                 self.router.central.push_back(id);
                 self.router.max_central = self.router.max_central.max(self.router.central.len());
             }
         }
+    }
+
+    /// A request some engine could hold, but none can take right now (the admissible
+    /// ones are all down): park it for a retry once the fleet heals.
+    fn fallback_unroutable(&mut self, at: f64, id: u64) {
+        self.orphan(at, id);
     }
 
     /// Outstanding work per engine as the request-count disciplines see it: the
@@ -330,22 +737,27 @@ impl ClusterState {
     }
 
     /// `CFcfs` late binding: FIFO-dispatch from the central queue to the
-    /// least-outstanding engine (lowest id on ties) while one sits below the window.
+    /// least-outstanding eligible engine (lowest id on ties) while one sits below
+    /// the window. A head-of-line request with no live admissible engine leaves the
+    /// queue for the failover path instead of blocking everyone behind it.
     fn dispatch_central(&mut self, at: f64) {
         if self.router.discipline != Discipline::CFcfs {
             return;
         }
-        while !self.router.central.is_empty() {
-            let mut best = 0;
-            for e in 1..self.slots.len() {
-                if self.outstanding(e) < self.outstanding(best) {
-                    best = e;
-                }
-            }
+        while let Some(&id) = self.router.central.front() {
+            let best = (0..self.slots.len())
+                .filter(|&e| self.eligible(id, e))
+                .min_by_key(|&e| (self.outstanding(e), e));
+            let Some(best) = best else {
+                self.router.central.pop_front();
+                self.site[id as usize] = Site::Idle;
+                self.fallback_unroutable(at, id);
+                continue;
+            };
             if self.outstanding(best) >= self.config.dispatch_window {
                 break;
             }
-            let id = self.router.central.pop_front().expect("non-empty");
+            self.router.central.pop_front();
             self.bind(at, id, best);
         }
     }
@@ -375,21 +787,21 @@ impl ClusterState {
         (used + slot.pending_prompt_tokens) as f64 / capacity as f64
     }
 
-    fn least_kv_engine(&self) -> usize {
-        let mut best = 0;
-        let mut best_score = self.kv_score(0);
-        for e in 1..self.slots.len() {
+    /// The least-loaded eligible engine for `id` under the KV-pressure score, or
+    /// `None` if nothing live can hold it.
+    fn least_kv_engine(&self, id: u64) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for e in (0..self.slots.len()).filter(|&e| self.eligible(id, e)) {
             let score = self.kv_score(e);
-            if score < best_score {
-                best = e;
-                best_score = score;
+            if best.map_or(true, |(_, s)| score < s) {
+                best = Some((e, score));
             }
         }
-        best
+        best.map(|(e, _)| e)
     }
 
     /// `DFcfs` correction knob: every `rebalance_every` arrivals, remap one
-    /// indirection-table entry from the deepest engine to the shallowest.
+    /// indirection-table entry from the deepest live engine to the shallowest.
     fn maybe_rebalance(&mut self) {
         self.router.arrivals_since_rebalance += 1;
         let every = self.config.rebalance_every;
@@ -397,18 +809,21 @@ impl ClusterState {
             return;
         }
         self.router.arrivals_since_rebalance = 0;
-        let depths: Vec<usize> = (0..self.slots.len()).map(|e| self.outstanding(e)).collect();
-        let mut deepest = 0;
-        let mut shallowest = 0;
-        for e in 1..depths.len() {
-            if depths[e] > depths[deepest] {
+        let live: Vec<usize> = (0..self.slots.len()).filter(|&e| self.slots[e].up).collect();
+        if live.len() < 2 {
+            return;
+        }
+        let mut deepest = live[0];
+        let mut shallowest = live[0];
+        for &e in &live[1..] {
+            if self.outstanding(e) > self.outstanding(deepest) {
                 deepest = e;
             }
-            if depths[e] < depths[shallowest] {
+            if self.outstanding(e) < self.outstanding(shallowest) {
                 shallowest = e;
             }
         }
-        if depths[deepest] > depths[shallowest] {
+        if self.outstanding(deepest) > self.outstanding(shallowest) {
             if let Some(entry) = self.router.table.iter().position(|&e| e == deepest) {
                 self.router.table[entry] = shallowest;
                 self.router.rebalances += 1;
@@ -416,17 +831,19 @@ impl ClusterState {
         }
     }
 
-    /// Binds request `id` to `engine` at time `at`: records the decision and puts
-    /// the request on the engine's link.
+    /// Binds request `id` to `engine` at time `at`: records the decision, counts the
+    /// attempt, and puts the request on the engine's link.
     fn bind(&mut self, at: f64, id: u64, engine: usize) {
         let request = self.requests[id as usize];
         self.records.push(RouteRecord { id, time: at, engine });
         self.engine_of[id as usize] = engine;
+        self.attempts[id as usize] += 1;
         let bytes = request.prompt_len as f64 * self.config.bytes_per_token;
         let deliver_at = self.slots[engine].link.delivery(at, bytes);
         self.slots[engine].inflight.push_back((deliver_at, id));
         self.slots[engine].pending_prompt_tokens += request.prompt_len;
         self.slots[engine].routed += 1;
+        self.site[id as usize] = Site::OnLink(engine);
     }
 
     fn report(&self) -> ClusterReport {
@@ -451,6 +868,7 @@ impl ClusterState {
                     routed: slot.routed,
                     completed: server_report.completed,
                     streamed_tokens: server_report.streamed_tokens,
+                    dropped: server_report.dropped,
                     makespan: slot.server.now(),
                     offload_fraction: server_report.offload_fraction,
                 }
@@ -459,7 +877,9 @@ impl ClusterState {
         ClusterReport {
             discipline: self.router.discipline.label().to_string(),
             requests: self.requests.len(),
-            completed: engines.iter().map(|e| e.completed).sum(),
+            completed: self.outcome.iter().filter(|&&o| o == Outcome::Completed).count(),
+            dropped: self.drops.len(),
+            retries: self.retries,
             makespan: engines.iter().map(|e| e.makespan).fold(0.0, f64::max),
             streamed_tokens: streamed,
             ttft: LatencySummary::from_samples(&ttfts),
@@ -468,6 +888,7 @@ impl ClusterState {
             max_central_queue: self.router.max_central,
             engines,
             routes: self.records.clone(),
+            drops: self.drops.clone(),
         }
     }
 }
@@ -488,6 +909,8 @@ enum AlarmKind {
     Link { idx: usize },
     /// Wakes at the next frontend arrival.
     Router,
+    /// Wakes at the next effective fault event or retry coming off backoff.
+    Fault,
 }
 
 impl Alarm {
@@ -498,6 +921,10 @@ impl Alarm {
             AlarmKind::Router => {
                 state.requests.get(state.next_arrival).map(|request| request.arrival)
             }
+            AlarmKind::Fault => match (state.fault_due(), state.retry_due()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
         }
     }
 }
@@ -537,7 +964,10 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if the fleet is empty, a non-positive window/table size is configured
-    /// for the discipline that needs it, or any engine already holds requests.
+    /// for the discipline that needs it, any engine already holds requests, the
+    /// retry/backoff knobs are not finite and non-negative, or the fault plan
+    /// references an engine/request outside the fleet/trace or carries non-positive
+    /// degradation parameters.
     pub fn new(engines: Vec<(String, Engine)>, trace: &Trace, config: ClusterConfig) -> Self {
         assert!(!engines.is_empty(), "a cluster needs at least one engine");
         assert!(
@@ -552,16 +982,26 @@ impl Cluster {
             config.bytes_per_token.is_finite() && config.bytes_per_token >= 0.0,
             "bytes_per_token must be finite and >= 0"
         );
+        assert!(
+            config.backoff_base_s.is_finite() && config.backoff_base_s >= 0.0,
+            "backoff base must be finite and >= 0"
+        );
+        assert!(
+            config.backoff_cap_s.is_finite() && config.backoff_cap_s >= 0.0,
+            "backoff cap must be finite and >= 0"
+        );
         let fleet_size = engines.len();
         let slots: Vec<Slot> = engines
             .into_iter()
             .map(|(name, engine)| Slot {
+                capacity: engine.max_context_capacity(),
                 name,
                 server: Server::new(engine),
                 link: SerialLine::new(config.link_latency_s, config.link_bytes_per_s),
                 inflight: VecDeque::new(),
                 routed: 0,
                 pending_prompt_tokens: 0,
+                up: true,
             })
             .collect();
         let requests: Vec<FrontendRequest> = trace
@@ -573,9 +1013,56 @@ impl Cluster {
                 output_len: r.output_len,
             })
             .collect();
+        let deadline: Vec<f64> = requests
+            .iter()
+            .map(|r| config.slo.map_or(f64::INFINITY, |slo| slo.deadline(r.arrival, r.output_len)))
+            .collect();
+        let mut fault_events = config.fault_plan.sorted_events();
+        for event in &fault_events {
+            assert!(
+                event.at.is_finite() && event.at >= 0.0,
+                "fault event times must be finite and >= 0"
+            );
+            match event.kind {
+                FaultKind::DeadlineExpire => assert!(
+                    (event.request as usize) < requests.len(),
+                    "deadline fault targets request {} outside the trace",
+                    event.request
+                ),
+                _ => assert!(
+                    event.engine < fleet_size,
+                    "fault event targets engine {} outside the fleet",
+                    event.engine
+                ),
+            }
+            if event.kind == FaultKind::LinkDegrade {
+                assert!(
+                    event.bandwidth_factor.is_finite() && event.bandwidth_factor > 0.0,
+                    "link degradation needs a positive finite bandwidth factor"
+                );
+                assert!(
+                    event.added_latency_s.is_finite() && event.added_latency_s >= 0.0,
+                    "added link latency must be finite and >= 0"
+                );
+            }
+        }
+        if config.slo.is_some() {
+            for (id, &at) in deadline.iter().enumerate() {
+                fault_events.push(FaultEvent {
+                    at,
+                    kind: FaultKind::DeadlineExpire,
+                    engine: 0,
+                    request: id as u64,
+                    bandwidth_factor: 1.0,
+                    added_latency_s: 0.0,
+                });
+            }
+            fault_events.sort_by(|a, b| a.at.total_cmp(&b.at));
+        }
         let token_sink = Rc::new(RefCell::new(TokenSink {
             token_times: vec![Vec::new(); requests.len()],
             firsts: Vec::new(),
+            lasts: Vec::new(),
         }));
         let router = RouterState {
             discipline: config.discipline,
@@ -590,14 +1077,24 @@ impl Cluster {
             rebalances: 0,
         };
         let engine_names: Vec<String> = slots.iter().map(|s| s.name.clone()).collect();
+        let request_count = requests.len();
         let state = ClusterState {
             slots,
-            engine_of: vec![usize::MAX; requests.len()],
+            engine_of: vec![usize::MAX; request_count],
             requests,
             next_arrival: 0,
             router,
             records: Vec::new(),
             token_sink,
+            fault_events,
+            fault_cursor: 0,
+            site: vec![Site::Idle; request_count],
+            outcome: vec![Outcome::Pending; request_count],
+            attempts: vec![0; request_count],
+            deadline,
+            retry_queue: Vec::new(),
+            drops: Vec::new(),
+            retries: 0,
             config: config.clone(),
         };
         let mut event_engine = EventEngine::new(state, TieBreak::from_seed(config.tie_break_seed));
@@ -623,10 +1120,17 @@ impl Cluster {
             name: "router".to_string(),
             kind: AlarmKind::Router,
         }));
+        id += 1;
+        event_engine.add_component(Box::new(Alarm {
+            id,
+            name: "faults".to_string(),
+            kind: AlarmKind::Fault,
+        }));
         Self { engine: event_engine }
     }
 
-    /// Runs the fleet until every request drained and summarises the run.
+    /// Runs the fleet until every request reached a terminal state and summarises
+    /// the run.
     ///
     /// # Panics
     ///
@@ -634,7 +1138,8 @@ impl Cluster {
     pub fn run(mut self) -> ClusterReport {
         let max_events = self.engine.shared().config.max_events;
         self.engine.run(max_events);
-        let (state, _) = self.engine.into_parts();
+        let (mut state, _) = self.engine.into_parts();
+        state.finalize();
         state.report()
     }
 }
@@ -764,5 +1269,138 @@ mod tests {
     fn empty_fleet_is_rejected() {
         let trace = synthetic(1, 100, 4, ArrivalProcess::AllAtOnce, 1);
         let _ = Cluster::new(Vec::new(), &trace, ClusterConfig::default());
+    }
+
+    #[test]
+    fn failover_completes_everything_on_the_survivor() {
+        let trace = synthetic(10, 300, 12, ArrivalProcess::Uniform { rate: 4.0 }, 11);
+        let config = ClusterConfig {
+            fault_plan: FaultPlan::new().engine_fail(0.5, 0),
+            ..ClusterConfig::default()
+        };
+        let report = Cluster::new(homogeneous_pair(), &trace, config).run();
+        assert_eq!(report.completed, 10, "every orphan must fail over: {:?}", report.drops);
+        assert_eq!(report.dropped, 0);
+        assert!(report.retries >= 1, "the dead engine held work at t=0.5");
+        assert_eq!(report.engines[0].completed + report.engines[1].completed, 10);
+        assert!(
+            report.engines[1].completed > report.engines[0].completed,
+            "the survivor must carry the fleet"
+        );
+        // Conservation: a retried request's discarded partial output is not
+        // double-counted — the faulted run streams exactly what a clean run does.
+        let clean = run(Discipline::RoundRobin, 10, 4.0, homogeneous_pair());
+        assert_eq!(report.streamed_tokens, clean.streamed_tokens);
+    }
+
+    #[test]
+    fn without_failover_the_dead_engines_requests_are_shed() {
+        let trace = synthetic(10, 300, 12, ArrivalProcess::Uniform { rate: 4.0 }, 11);
+        let config = ClusterConfig {
+            fault_plan: FaultPlan::new().engine_fail(0.5, 0),
+            failover: false,
+            ..ClusterConfig::default()
+        };
+        let report = Cluster::new(homogeneous_pair(), &trace, config).run();
+        assert_eq!(report.completed + report.dropped, 10, "every request must end terminal");
+        assert!(report.dropped >= 1, "the dead engine held work at t=0.5");
+        assert!(report.drops.iter().all(|d| d.reason == "engine_failed"));
+        assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn requests_arriving_while_the_fleet_is_down_wait_for_recovery() {
+        let fleet = vec![("a10g".to_string(), a10g_engine())];
+        let trace = synthetic(4, 200, 8, ArrivalProcess::Uniform { rate: 50.0 }, 3);
+        let config = ClusterConfig {
+            fault_plan: FaultPlan::new().engine_fail(0.01, 0).engine_recover(5.0, 0),
+            ..ClusterConfig::default()
+        };
+        let report = Cluster::new(fleet, &trace, config).run();
+        assert_eq!(report.completed, 4, "recovery must drain the parked queue: {:?}", report.drops);
+        let late = report.routes.iter().filter(|r| r.time >= 5.0).count();
+        assert!(late >= 3, "arrivals during the outage re-dispatch after recovery");
+    }
+
+    #[test]
+    fn a_request_no_engine_can_ever_hold_is_shed_typed() {
+        let trace = synthetic(2, 2_000_000, 4, ArrivalProcess::AllAtOnce, 1);
+        let report = Cluster::new(homogeneous_pair(), &trace, ClusterConfig::default()).run();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.dropped, 2);
+        assert!(report.drops.iter().all(|d| d.reason == "no_admissible_engine"));
+        assert!(report.routes.is_empty(), "never-admissible requests must not bind");
+    }
+
+    #[test]
+    fn an_impossible_slo_sheds_with_deadline_drops() {
+        let trace = synthetic(6, 300, 12, ArrivalProcess::Uniform { rate: 4.0 }, 11);
+        let config = ClusterConfig {
+            slo: Some(neo_workload::SloPolicy::new(1e-6, 0.0)),
+            ..ClusterConfig::default()
+        };
+        let report = Cluster::new(homogeneous_pair(), &trace, config).run();
+        assert_eq!(report.dropped, 6, "a microsecond deadline is unmeetable");
+        assert_eq!(report.completed, 0);
+        assert!(report.drops.iter().all(|d| d.reason == "deadline_expired"));
+    }
+
+    #[test]
+    fn a_degraded_link_inflates_frontend_ttft() {
+        let fleet = || vec![("a10g".to_string(), a10g_engine())];
+        let trace = synthetic(4, 300, 8, ArrivalProcess::Uniform { rate: 2.0 }, 7);
+        let clean =
+            Cluster::new(fleet(), &trace, ClusterConfig::default()).run().ttft.unwrap().mean;
+        let config = ClusterConfig {
+            fault_plan: FaultPlan::new().link_degrade(0.0, 0, 0.01, 0.25),
+            ..ClusterConfig::default()
+        };
+        let degraded = Cluster::new(fleet(), &trace, config).run();
+        assert_eq!(degraded.completed, 4, "degradation slows delivery but loses nothing");
+        assert!(
+            degraded.ttft.unwrap().mean > clean + 0.2,
+            "added propagation latency must show up in frontend TTFT"
+        );
+    }
+
+    #[test]
+    fn retry_budget_bounds_redispatches() {
+        // Both engines flap so orphans keep dying; the budget must cap the churn.
+        let mut plan = FaultPlan::new();
+        for k in 0..40 {
+            let at = 0.2 + 0.1 * k as f64;
+            plan = plan.engine_fail(at, k % 2).engine_recover(at + 0.05, k % 2);
+        }
+        let trace = synthetic(8, 300, 12, ArrivalProcess::AllAtOnce, 5);
+        let config = ClusterConfig {
+            fault_plan: plan,
+            retry_budget: 2,
+            backoff_base_s: 0.01,
+            backoff_cap_s: 0.02,
+            ..ClusterConfig::default()
+        };
+        let report = Cluster::new(homogeneous_pair(), &trace, config).run();
+        assert_eq!(report.completed + report.dropped, 8);
+        assert!(report.retries <= 8 * 2, "retries must respect the per-request budget");
+    }
+
+    #[test]
+    fn fault_runs_stay_bit_identical_across_fuzzed_seeds() {
+        let plan = || FaultPlan::new().engine_fail(0.5, 0).engine_recover(2.0, 0);
+        let reference = {
+            let trace = synthetic(12, 300, 12, ArrivalProcess::Uniform { rate: 5.0 }, 11);
+            let config = ClusterConfig { fault_plan: plan(), ..ClusterConfig::default() };
+            format!("{:?}", Cluster::new(homogeneous_pair(), &trace, config).run())
+        };
+        for seed in [1u64, 424242] {
+            let trace = synthetic(12, 300, 12, ArrivalProcess::Uniform { rate: 5.0 }, 11);
+            let config = ClusterConfig {
+                fault_plan: plan(),
+                tie_break_seed: seed,
+                ..ClusterConfig::default()
+            };
+            let fuzzed = format!("{:?}", Cluster::new(homogeneous_pair(), &trace, config).run());
+            assert_eq!(reference, fuzzed, "seed {seed} changed a faulted run");
+        }
     }
 }

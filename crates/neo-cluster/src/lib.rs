@@ -30,6 +30,20 @@
 //! `cluster_determinism` integration suite proptests this over ≥ 32 seeds and CI runs
 //! a fixed `NEO_EVENT_FUZZ_SEED` matrix.
 //!
+//! # Failure model
+//!
+//! Faults are data, not chaos: a [`FaultPlan`] schedules engine fail-stops and
+//! recoveries, link degradations, and per-request deadline expiries at exact
+//! simulated instants, applied in the same fixed settle order as everything else —
+//! so a fault scenario is as bit-reproducible as a faultless run (the
+//! `fault_determinism` suite proves it across fuzzed seeds). When an engine dies the
+//! router marks it down and, with failover enabled, re-dispatches its orphaned
+//! requests to survivors under capped exponential backoff and a per-request retry
+//! budget; requests that exhaust the budget, miss an [`neo_workload::SloPolicy`]
+//! deadline, or fit no engine are shed with a typed [`neo_serve::DropReason`].
+//! Every request ends in exactly one terminal state: completed, or dropped with a
+//! recorded reason ([`ClusterReport::drops`]).
+//!
 //! # Example
 //!
 //! ```
@@ -52,6 +66,8 @@
 
 pub mod cluster;
 pub mod discipline;
+pub mod fault;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterReport, EngineSummary, RouteRecord};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, DropRecord, EngineSummary, RouteRecord};
 pub use discipline::Discipline;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};

@@ -18,6 +18,7 @@ use neo_kvcache::Device;
 use neo_sim::profiler::ProfiledCostModel;
 use neo_sim::{CostModel, SimClock};
 
+use crate::admit::AdmitError;
 use crate::config::{EngineConfig, OverlapModel};
 use crate::event_overlap::estimate_decision_event;
 use crate::pipeline::{estimate_decision, IterationEstimate};
@@ -76,6 +77,8 @@ pub struct Engine {
     total_decode_tokens: u64,
     total_prefill_tokens: u64,
     admission_backlog: usize,
+    /// Fail-stopped: every submission is refused until [`Engine::recover`].
+    down: bool,
 }
 
 impl std::fmt::Debug for Engine {
@@ -130,6 +133,7 @@ impl Engine {
             total_decode_tokens: 0,
             total_prefill_tokens: 0,
             admission_backlog: 0,
+            down: false,
         }
     }
 
@@ -148,20 +152,72 @@ impl Engine {
         self.clock.advance_to(t);
     }
 
-    /// Submits a new request; it joins the prefill waitqueue.
+    /// Submits a new request; on success it joins the prefill waitqueue.
+    ///
+    /// Refuses (typed, never by silent wedge) requests this engine can never serve:
+    /// a context that fits in none of its KV pools ([`AdmitError::NeverAdmissible`] —
+    /// see [`Engine::max_context_capacity`]) and anything while the engine is
+    /// fail-stopped ([`AdmitError::EngineDown`]).
     ///
     /// # Panics
     ///
-    /// Panics if a request with the same id is already live or completed.
-    pub fn submit(&mut self, request: Request) {
+    /// Panics if a request with the same id is already live or completed — duplicate
+    /// ids are a caller bug, not an admission outcome.
+    pub fn submit(&mut self, request: Request) -> Result<(), AdmitError> {
         assert!(
             !self.requests.contains_key(&request.id)
                 && !self.completed.iter().any(|r| r.id == request.id),
             "duplicate request id {}",
             request.id
         );
+        if self.down {
+            return Err(AdmitError::EngineDown);
+        }
+        let required = request.total_tokens();
+        let capacity = self.max_context_capacity();
+        if required > capacity {
+            return Err(AdmitError::NeverAdmissible {
+                required_tokens: required,
+                capacity_tokens: capacity,
+            });
+        }
         self.waiting.push(request.id);
         self.requests.insert(request.id, request);
+        Ok(())
+    }
+
+    /// The largest total context (prompt + output tokens) a single request can ever
+    /// hold on this engine. A sequence's KV lives wholly on one device (swaps move
+    /// whole sequences), so the binding limit is the *larger* of the two pools, not
+    /// their sum: a request above this can never finish and is refused at
+    /// [`Engine::submit`].
+    pub fn max_context_capacity(&self) -> usize {
+        let config = self.kv.config();
+        config.gpu_capacity_tokens.max(config.cpu_capacity_tokens)
+    }
+
+    /// Fail-stops the engine: every live request is evicted (its KV is lost, exactly
+    /// as a crashed process loses device and host memory) and returned in id order,
+    /// marked [`RequestState::Cancelled`]; until [`Engine::recover`] the engine
+    /// refuses submissions ([`AdmitError::EngineDown`]) and reports no admission room.
+    /// Already-completed requests stay archived — the failure loses state, not
+    /// history.
+    pub fn fail(&mut self) -> Vec<Request> {
+        self.down = true;
+        let mut ids: Vec<u64> = self.requests.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().filter_map(|id| self.evict(id)).collect()
+    }
+
+    /// Brings a fail-stopped engine back: it restarts empty (the failure discarded
+    /// all KV and queue state) and admits requests again.
+    pub fn recover(&mut self) {
+        self.down = false;
+    }
+
+    /// Whether the engine is fail-stopped (see [`Engine::fail`]).
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     /// Whether no request is waiting or running.
@@ -174,9 +230,9 @@ impl Engine {
     /// This is the engine's admission-backpressure signal: when the waitqueue already
     /// holds [`EngineConfig::max_waiting_requests`] requests, a serving loop should hold
     /// further arrivals in its own backlog (delaying, never dropping them) instead of
-    /// calling [`Engine::submit`].
+    /// calling [`Engine::submit`]. A fail-stopped engine has no admission room at all.
     pub fn can_admit(&self) -> bool {
-        self.waiting.len() < self.config.max_waiting_requests
+        !self.down && self.waiting.len() < self.config.max_waiting_requests
     }
 
     /// Tells the engine how many accepted-but-not-yet-admitted requests the serving layer
@@ -289,6 +345,7 @@ impl Engine {
                 cpu_run: &self.cpu_run,
                 gpu_free_tokens: self.kv.free_tokens(Device::Gpu),
                 cpu_free_tokens: self.kv.free_tokens(Device::Cpu),
+                gpu_capacity_tokens: self.kv.config().gpu_capacity_tokens,
                 prefill_device: &self.prefill_device,
                 admission_backlog: self.admission_backlog,
             };
@@ -507,7 +564,7 @@ mod tests {
     #[test]
     fn single_request_completes_with_correct_counts() {
         let mut e = a10g_engine();
-        e.submit(Request::new(1, 0.0, 100, 20));
+        e.submit(Request::new(1, 0.0, 100, 20)).unwrap();
         let iters = e.run_to_completion(10_000);
         assert!(iters < 10_000, "request did not finish");
         assert_eq!(e.completed().len(), 1);
@@ -526,7 +583,8 @@ mod tests {
         let mut e = a10g_engine();
         let n = 40;
         for id in 0..n {
-            e.submit(Request::new(id, 0.0, 200 + (id as usize % 7) * 50, 16 + (id as usize % 5)));
+            e.submit(Request::new(id, 0.0, 200 + (id as usize % 7) * 50, 16 + (id as usize % 5)))
+                .unwrap();
         }
         e.run_to_completion(200_000);
         assert_eq!(e.completed().len(), n as usize);
@@ -542,7 +600,7 @@ mod tests {
     fn time_advances_monotonically_across_steps() {
         let mut e = a10g_engine();
         for id in 0..5 {
-            e.submit(Request::new(id, 0.0, 300, 10));
+            e.submit(Request::new(id, 0.0, 300, 10)).unwrap();
         }
         let mut last = 0.0;
         while !e.is_idle() {
@@ -568,7 +626,7 @@ mod tests {
         // batch must spill to the CPU cache.
         let mut e = engine(Testbed::g4dn_4xlarge(), ModelDesc::llama2_7b());
         for id in 0..64 {
-            e.submit(Request::new(id, 0.0, 300, 40));
+            e.submit(Request::new(id, 0.0, 300, 40)).unwrap();
         }
         let mut used_cpu = false;
         let mut finished_iterations = 0;
@@ -586,9 +644,9 @@ mod tests {
     #[test]
     fn duplicate_submission_panics() {
         let mut e = a10g_engine();
-        e.submit(Request::new(1, 0.0, 10, 5));
+        e.submit(Request::new(1, 0.0, 10, 5)).unwrap();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            e.submit(Request::new(1, 0.0, 10, 5));
+            let _ = e.submit(Request::new(1, 0.0, 10, 5));
         }));
         assert!(result.is_err());
     }
@@ -598,7 +656,7 @@ mod tests {
         let mut e = a10g_engine();
         e.advance_to(5.0);
         assert_eq!(e.now(), 5.0);
-        e.submit(Request::new(1, 5.0, 50, 4));
+        e.submit(Request::new(1, 5.0, 50, 4)).unwrap();
         e.run_to_completion(10_000);
         let r = &e.completed()[0];
         assert!(r.finish_time.unwrap() > 5.0);
@@ -610,7 +668,7 @@ mod tests {
         // Sanity band: a lightly loaded A10G serving LLaMa-3.1-8B should produce tokens at
         // tens of milliseconds each, not microseconds or minutes.
         let mut e = a10g_engine();
-        e.submit(Request::new(1, 0.0, 500, 50));
+        e.submit(Request::new(1, 0.0, 500, 50)).unwrap();
         e.run_to_completion(10_000);
         let ptl = e.completed()[0].per_token_latency().unwrap();
         assert!(ptl > 1e-3 && ptl < 1.0, "per-token latency {ptl}");
@@ -619,8 +677,8 @@ mod tests {
     #[test]
     fn evicting_a_decoding_request_frees_its_kv_blocks() {
         let mut e = a10g_engine();
-        e.submit(Request::new(1, 0.0, 100, 400));
-        e.submit(Request::new(2, 0.0, 100, 400));
+        e.submit(Request::new(1, 0.0, 100, 400)).unwrap();
+        e.submit(Request::new(2, 0.0, 100, 400)).unwrap();
         // Step until both requests hold KV and are decoding.
         while e.kv().num_sequences() < 2 {
             e.step();
@@ -643,7 +701,7 @@ mod tests {
     #[test]
     fn evicting_unknown_or_finished_requests_returns_none() {
         let mut e = a10g_engine();
-        e.submit(Request::new(7, 0.0, 50, 4));
+        e.submit(Request::new(7, 0.0, 50, 4)).unwrap();
         e.run_to_completion(10_000);
         assert_eq!(e.completed().len(), 1);
         assert!(e.evict(7).is_none(), "finished requests are not evictable");
@@ -653,7 +711,7 @@ mod tests {
     #[test]
     fn evicting_a_waiting_request_works_before_prefill() {
         let mut e = a10g_engine();
-        e.submit(Request::new(3, 0.0, 100, 10));
+        e.submit(Request::new(3, 0.0, 100, 10)).unwrap();
         let evicted = e.evict(3).expect("waiting request is live");
         assert_eq!(evicted.prefilled, 0);
         assert!(e.is_idle());
@@ -666,9 +724,9 @@ mod tests {
         let config = EngineConfig { max_waiting_requests: 2, ..EngineConfig::default() };
         let mut e = Engine::new(cost, config, Box::new(NeoScheduler::new()));
         assert!(e.can_admit());
-        e.submit(Request::new(1, 0.0, 50, 4));
+        e.submit(Request::new(1, 0.0, 50, 4)).unwrap();
         assert!(e.can_admit());
-        e.submit(Request::new(2, 0.0, 50, 4));
+        e.submit(Request::new(2, 0.0, 50, 4)).unwrap();
         assert!(!e.can_admit(), "waitqueue at max_waiting_requests means backpressure");
         // Prefilling drains the waitqueue and lifts the backpressure.
         while !e.can_admit() {
@@ -689,7 +747,7 @@ mod tests {
             e.kv().config().gpu_capacity_tokens,
             budgets.iter().map(|b| b.kv_capacity_tokens).min().unwrap()
         );
-        e.submit(Request::new(1, 0.0, 200, 10));
+        e.submit(Request::new(1, 0.0, 200, 10)).unwrap();
         e.step();
         let ranks = e.rank_occupancy();
         assert_eq!(ranks.len(), 2);
@@ -707,5 +765,68 @@ mod tests {
         let e = a10g_engine();
         let s = format!("{e:?}");
         assert!(s.contains("neo"));
+    }
+
+    #[test]
+    fn never_admissible_request_is_rejected_typed() {
+        let mut e = a10g_engine();
+        let capacity = e.max_context_capacity();
+        let err = e.submit(Request::new(1, 0.0, capacity + 1, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            crate::AdmitError::NeverAdmissible {
+                required_tokens: capacity + 2,
+                capacity_tokens: capacity,
+            }
+        );
+        assert!(e.is_idle(), "a rejected request must not enter the waitqueue");
+        // A request that exactly fills the largest pool is admissible.
+        e.submit(Request::new(2, 0.0, capacity - 1, 1)).unwrap();
+    }
+
+    #[test]
+    fn fail_evicts_everything_and_recover_restores_service() {
+        let mut e = a10g_engine();
+        e.submit(Request::new(1, 0.0, 200, 40)).unwrap();
+        e.submit(Request::new(2, 0.0, 200, 40)).unwrap();
+        for _ in 0..3 {
+            e.step();
+        }
+        assert!(!e.is_down());
+        let lost = e.fail();
+        assert!(e.is_down());
+        assert_eq!(lost.len(), 2, "both live requests are evicted on fail-stop");
+        assert!(lost.windows(2).all(|w| w[0].id < w[1].id), "eviction order is id-sorted");
+        assert_eq!(e.kv().num_sequences(), 0, "KV is lost on fail-stop");
+        assert_eq!(e.live_requests(), 0);
+        assert!(!e.can_admit());
+        assert_eq!(e.submit(Request::new(3, 0.0, 50, 4)), Err(crate::AdmitError::EngineDown));
+        // A down engine still advances time idly but does no work.
+        let report = e.step();
+        assert!(report.idle);
+        e.recover();
+        assert!(!e.is_down());
+        e.submit(Request::new(3, 0.0, 50, 4)).unwrap();
+        e.run_to_completion(10_000);
+        assert_eq!(e.completed().len(), 1);
+    }
+
+    #[test]
+    fn oversized_prompt_completes_on_idle_t4_via_cpu() {
+        // Regression test for the fleet_mix clamp: an 8192-token prompt exceeds the T4's
+        // GPU pool (~3.1k tokens with default batching), so a fresh submission to an
+        // *idle* engine used to start prefilling on the GPU, wedge mid-prefill, and
+        // livelock through the deadlock-breaker. The scheduler now targets the CPU pool
+        // from the first chunk whenever the prompt alone cannot fit the GPU pool.
+        let mut e = engine(Testbed::g4dn_4xlarge(), ModelDesc::llama2_7b());
+        assert!(
+            8192 > e.kv().config().gpu_capacity_tokens,
+            "fixture must actually exceed the GPU pool"
+        );
+        e.submit(Request::new(1, 0.0, 8192, 16)).unwrap();
+        let iters = e.run_to_completion(50_000);
+        assert!(iters < 50_000, "oversized prompt must not livelock");
+        assert_eq!(e.completed().len(), 1);
+        assert_eq!(e.completed()[0].generated, 16);
     }
 }

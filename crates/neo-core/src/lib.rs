@@ -42,13 +42,14 @@
 //! let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
 //! let config = EngineConfig::default();
 //! let mut engine = Engine::new(cost, config, Box::new(NeoScheduler::new()));
-//! engine.submit(Request::new(0, 0.0, 128, 32));
+//! engine.submit(Request::new(0, 0.0, 128, 32)).unwrap();
 //! while !engine.is_idle() {
 //!     engine.step();
 //! }
 //! assert_eq!(engine.completed().len(), 1);
 //! ```
 
+pub mod admit;
 pub mod batch;
 pub mod config;
 pub mod engine;
@@ -58,6 +59,7 @@ pub mod policy;
 pub mod request;
 pub mod scheduler;
 
+pub use admit::AdmitError;
 pub use batch::{PrefillItem, ScheduleDecision, SubBatch};
 pub use config::{EngineConfig, OverlapModel};
 pub use engine::{Engine, IterationReport};

@@ -333,6 +333,7 @@ mod tests {
                 cpu_run: &self.cpu_run,
                 gpu_free_tokens: 10_000,
                 cpu_free_tokens: 100_000,
+                gpu_capacity_tokens: 10_000,
                 prefill_device: &self.prefill_device,
                 admission_backlog: 0,
             }

@@ -54,6 +54,11 @@ pub struct ScheduleContext<'a> {
     pub gpu_free_tokens: usize,
     /// Free tokens in the CPU KV pool.
     pub cpu_free_tokens: usize,
+    /// Total size of the GPU KV pool, in tokens. Lets admission distinguish "the GPU
+    /// is busy right now" from "this prompt can *never* fit the GPU": a fresh request
+    /// whose whole prompt exceeds this must build its KV on the CPU from the first
+    /// chunk, because partially-prefilled requests are pinned to their device.
+    pub gpu_capacity_tokens: usize,
     /// Device each partially-prefilled request's KV currently resides on (absent for
     /// requests that have not started prefill).
     pub prefill_device: &'a HashMap<u64, Device>,
@@ -135,6 +140,13 @@ impl SchedulerPolicy for NeoScheduler {
         plan.admit_prefills(ctx, |plan, id, chunk| {
             let target = match ctx.prefill_device.get(&id) {
                 Some(&d) => d,
+                // A prompt that exceeds the *whole* GPU pool can never finish a GPU
+                // prefill: once its first chunk lands there the request is pinned to
+                // the device, stalls when the pool fills, and livelocks against the
+                // deadlock-breaking preemption. Send it to the CPU cache from the
+                // first chunk — this is state-independent, so the choice is the same
+                // on an idle and on a loaded engine.
+                None if ctx.requests[&id].prompt_len > ctx.gpu_capacity_tokens => Device::Cpu,
                 None if plan.gpu_free >= chunk as i64 => Device::Gpu,
                 None => Device::Cpu,
             };
@@ -321,6 +333,7 @@ mod tests {
                 cpu_run: &self.cpu_run,
                 gpu_free_tokens: self.gpu_free,
                 cpu_free_tokens: self.cpu_free,
+                gpu_capacity_tokens: self.gpu_free,
                 prefill_device: &self.prefill_device,
                 admission_backlog: 0,
             };
@@ -450,6 +463,7 @@ mod tests {
             cpu_run: &fx.cpu_run,
             gpu_free_tokens: fx.gpu_free,
             cpu_free_tokens: fx.cpu_free,
+            gpu_capacity_tokens: fx.gpu_free,
             prefill_device: &fx.prefill_device,
             admission_backlog: 0,
         };

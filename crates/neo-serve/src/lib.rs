@@ -43,4 +43,6 @@ pub mod server;
 pub use metrics::{Cdf, LatencySummary};
 pub use offline::{run_offline, OfflineResult};
 pub use online::{run_online, OnlineResult};
-pub use server::{RequestHandle, RequestStatus, Server, ServerReport, TokenCallback, TokenEvent};
+pub use server::{
+    DropReason, RequestHandle, RequestStatus, Server, ServerReport, TokenCallback, TokenEvent,
+};

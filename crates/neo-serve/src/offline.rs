@@ -32,7 +32,7 @@ pub struct OfflineResult {
 pub fn run_offline(mut engine: Engine, trace: &Trace, max_iterations: u64) -> OfflineResult {
     assert!(!trace.is_empty(), "cannot run an empty trace");
     for (i, r) in trace.requests().iter().enumerate() {
-        engine.submit(Request::new(i as u64, 0.0, r.prompt_len, r.output_len));
+        engine.submit(Request::new(i as u64, 0.0, r.prompt_len, r.output_len)).unwrap();
     }
     let total = trace.len();
 

@@ -74,7 +74,7 @@ pub fn run_online(
 
     let mut server = Server::new(engine).with_max_iterations(max_iterations);
     for event in trace.events() {
-        server.submit(event.time, event.prompt_len, event.output_len);
+        server.submit(event.time, event.prompt_len, event.output_len).unwrap();
     }
     let report = server.run_until_idle();
 

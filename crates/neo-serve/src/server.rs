@@ -26,7 +26,7 @@
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use neo_core::request::{Request, RequestState};
-use neo_core::{Engine, IterationReport};
+use neo_core::{AdmitError, Engine, IterationReport};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::LatencySummary;
@@ -82,6 +82,49 @@ pub enum RequestStatus {
         /// Output tokens streamed before the cancellation.
         generated: usize,
     },
+    /// Shed by the serving layer before finishing (see [`DropReason`]).
+    Dropped {
+        /// Why the request was shed.
+        reason: DropReason,
+        /// Output tokens streamed before the drop.
+        generated: usize,
+    },
+}
+
+/// Why the serving layer shed a request instead of finishing it.
+///
+/// Unlike a client-initiated [`Server::cancel`], a drop is the *server's* decision: the
+/// engine died under the request, its SLO deadline passed, its retry budget ran out, or
+/// no engine in the fleet can ever hold it. Dropped requests are terminal — they count
+/// as shed (not goodput) in every summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The engine serving the request fail-stopped, losing its KV.
+    EngineFailed,
+    /// The request's SLO deadline passed (or a retry could not beat it).
+    DeadlineExpired,
+    /// The per-request retry budget was exhausted by repeated failovers.
+    RetriesExhausted,
+    /// No live engine can admit the request (e.g. its context fits no pool).
+    NoAdmissibleEngine,
+}
+
+impl DropReason {
+    /// Stable snake_case label, used as a JSON key in drop breakdowns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropReason::EngineFailed => "engine_failed",
+            DropReason::DeadlineExpired => "deadline_expired",
+            DropReason::RetriesExhausted => "retries_exhausted",
+            DropReason::NoAdmissibleEngine => "no_admissible_engine",
+        }
+    }
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// What the serving loop did, summarised when the queue drains.
@@ -91,6 +134,8 @@ pub struct ServerReport {
     pub completed: usize,
     /// Requests cancelled before finishing.
     pub cancelled: usize,
+    /// Requests shed by the server (engine failure, deadline, retry exhaustion).
+    pub dropped: usize,
     /// Simulated time when the loop drained.
     pub makespan: f64,
     /// Engine iterations executed (including idle quanta).
@@ -165,6 +210,7 @@ enum SessionState {
     Running,
     Finished { finish_time: f64 },
     Cancelled,
+    Dropped { reason: DropReason },
 }
 
 /// The event-driven serving loop over one [`Engine`].
@@ -187,6 +233,10 @@ pub struct Server {
     max_backlog: usize,
     /// Requests evicted by cancellation (terminal state [`RequestState::Cancelled`]).
     cancelled: Vec<Request>,
+    /// Requests shed by the server, with the reason, in drop order.
+    dropped: Vec<(u64, DropReason)>,
+    /// Admission backlog limit; `None` means backpressure only, never `BacklogFull`.
+    max_backlog_limit: Option<usize>,
     /// How much of `engine.completed()` has already been dispatched to callbacks.
     completed_cursor: usize,
     last_report: Option<IterationReport>,
@@ -230,6 +280,8 @@ impl Server {
             streamed_tokens: 0,
             max_backlog: 0,
             cancelled: Vec::new(),
+            dropped: Vec::new(),
+            max_backlog_limit: None,
             completed_cursor: 0,
             last_report: None,
         }
@@ -238,6 +290,14 @@ impl Server {
     /// Sets the iteration budget after which the loop panics (livelock guard).
     pub fn with_max_iterations(mut self, max_iterations: u64) -> Self {
         self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Caps the admission backlog: once `limit` requests are queued server-side,
+    /// further submissions fail with [`AdmitError::BacklogFull`] instead of queueing.
+    /// The default (no limit) applies backpressure only and never rejects.
+    pub fn with_max_backlog(mut self, limit: usize) -> Self {
+        self.max_backlog_limit = Some(limit);
         self
     }
 
@@ -274,6 +334,11 @@ impl Server {
     /// This is the wake-up seam a cluster clock uses to interleave many servers: call
     /// [`Server::poll`] once simulated time reaches the returned instant.
     pub fn next_activity(&self) -> Option<f64> {
+        if self.engine.is_down() {
+            // A fail-stopped server can do no work until recovery: reporting activity
+            // here would make a cluster clock spin on it forever.
+            return None;
+        }
         if !self.engine.is_idle() || !self.backlog.is_empty() {
             return Some(self.engine.now());
         }
@@ -346,22 +411,35 @@ impl Server {
     /// Submits a request arriving at simulated time `arrival` (clamped to now if it is in
     /// the past) with no streaming callback.
     ///
+    /// # Errors
+    ///
+    /// * [`AdmitError::EngineDown`] — the engine is fail-stopped (see [`Server::fail`]).
+    /// * [`AdmitError::NeverAdmissible`] — the full context (prompt + output) exceeds
+    ///   the engine's largest KV pool; admitting it would wedge the waitqueue forever.
+    /// * [`AdmitError::BacklogFull`] — the backlog limit set by
+    ///   [`Server::with_max_backlog`] is reached.
+    ///
     /// # Panics
     ///
     /// Panics if `arrival` is not finite or a length is zero.
-    pub fn submit(&mut self, arrival: f64, prompt_len: usize, output_len: usize) -> RequestHandle {
+    pub fn submit(
+        &mut self,
+        arrival: f64,
+        prompt_len: usize,
+        output_len: usize,
+    ) -> Result<RequestHandle, AdmitError> {
         self.submit_streaming(arrival, prompt_len, output_len, None)
     }
 
     /// Submits a request with a streaming callback invoked once per output token, in
-    /// emission order. See [`Server::submit`] for the panics.
+    /// emission order. See [`Server::submit`] for the errors and panics.
     pub fn submit_with_callback<F>(
         &mut self,
         arrival: f64,
         prompt_len: usize,
         output_len: usize,
         callback: F,
-    ) -> RequestHandle
+    ) -> Result<RequestHandle, AdmitError>
     where
         F: FnMut(&TokenEvent) + 'static,
     {
@@ -374,10 +452,26 @@ impl Server {
         prompt_len: usize,
         output_len: usize,
         callback: Option<TokenCallback>,
-    ) -> RequestHandle {
+    ) -> Result<RequestHandle, AdmitError> {
         assert!(arrival.is_finite(), "arrival time must be finite");
         assert!(prompt_len > 0, "prompt length must be positive");
         assert!(output_len > 0, "output length must be positive");
+        if self.engine.is_down() {
+            return Err(AdmitError::EngineDown);
+        }
+        let required = prompt_len + output_len;
+        let capacity = self.engine.max_context_capacity();
+        if required > capacity {
+            return Err(AdmitError::NeverAdmissible {
+                required_tokens: required,
+                capacity_tokens: capacity,
+            });
+        }
+        if let Some(limit) = self.max_backlog_limit {
+            if self.backlog.len() >= limit {
+                return Err(AdmitError::BacklogFull { backlog: self.backlog.len(), limit });
+            }
+        }
         let arrival = arrival.max(self.engine.now());
         let id = self.sessions.len() as u64;
         self.sessions.push(Session {
@@ -389,7 +483,73 @@ impl Server {
             token_times: Vec::new(),
         });
         self.push_event(arrival, EventKind::Arrival(id));
-        RequestHandle { id }
+        Ok(RequestHandle { id })
+    }
+
+    /// Whether the engine is fail-stopped.
+    pub fn is_down(&self) -> bool {
+        self.engine.is_down()
+    }
+
+    /// Fail-stops the engine: its KV is lost, and every request this server was
+    /// responsible for — scheduled, backlogged, or live in the engine — is shed with
+    /// [`DropReason::EngineFailed`]. Returns the shed request ids in ascending order,
+    /// so a cluster router can re-dispatch them to survivors. Until [`Server::recover`]
+    /// the server accepts nothing, reports no next activity, and does no work.
+    pub fn fail(&mut self) -> Vec<u64> {
+        let _ = self.engine.fail();
+        self.backlog.clear();
+        self.running.clear();
+        let mut orphans = Vec::new();
+        for (id, session) in self.sessions.iter_mut().enumerate() {
+            match session.state {
+                SessionState::Scheduled | SessionState::Backlogged | SessionState::Running => {
+                    session.state = SessionState::Dropped { reason: DropReason::EngineFailed };
+                    orphans.push(id as u64);
+                }
+                SessionState::Finished { .. }
+                | SessionState::Cancelled
+                | SessionState::Dropped { .. } => {}
+            }
+        }
+        self.dropped.extend(orphans.iter().map(|&id| (id, DropReason::EngineFailed)));
+        orphans
+    }
+
+    /// Brings a fail-stopped engine back into service, empty. Requests shed by
+    /// [`Server::fail`] stay shed; new submissions are accepted again.
+    pub fn recover(&mut self) {
+        self.engine.recover();
+    }
+
+    /// Sheds `handle` immediately with a typed reason: the request is evicted wherever
+    /// it is (backlog, waitqueue, or mid-decode, freeing its KV) and reaches the
+    /// terminal state [`RequestStatus::Dropped`]. Dropping a finished, cancelled, or
+    /// already-dropped request is a no-op.
+    pub fn drop_now(&mut self, handle: RequestHandle, reason: DropReason) {
+        let id = handle.id;
+        let state = self.sessions[id as usize].state;
+        match state {
+            SessionState::Scheduled | SessionState::Backlogged => {
+                self.backlog.retain(|&x| x != id);
+                self.sessions[id as usize].state = SessionState::Dropped { reason };
+                self.dropped.push((id, reason));
+            }
+            SessionState::Running => {
+                let _ = self.engine.evict(id).expect("running session is live");
+                self.running.remove(&id);
+                self.sessions[id as usize].state = SessionState::Dropped { reason };
+                self.dropped.push((id, reason));
+            }
+            SessionState::Finished { .. }
+            | SessionState::Cancelled
+            | SessionState::Dropped { .. } => {}
+        }
+    }
+
+    /// Requests shed by this server, with the reason, in drop order.
+    pub fn dropped(&self) -> &[(u64, DropReason)] {
+        &self.dropped
     }
 
     /// Schedules a cancellation of `handle` at simulated time `at` (clamped to now).
@@ -423,6 +583,9 @@ impl Server {
             SessionState::Finished { finish_time } => RequestStatus::Finished { finish_time },
             SessionState::Cancelled => {
                 RequestStatus::Cancelled { generated: session.token_times.len() }
+            }
+            SessionState::Dropped { reason } => {
+                RequestStatus::Dropped { reason, generated: session.token_times.len() }
             }
         }
     }
@@ -475,7 +638,9 @@ impl Server {
                 self.sessions[id as usize].state = SessionState::Cancelled;
                 self.cancelled.push(request);
             }
-            SessionState::Finished { .. } | SessionState::Cancelled => {}
+            SessionState::Finished { .. }
+            | SessionState::Cancelled
+            | SessionState::Dropped { .. } => {}
         }
     }
 
@@ -486,12 +651,9 @@ impl Server {
             let session = &mut self.sessions[id as usize];
             session.state = SessionState::Running;
             self.running.insert(id);
-            self.engine.submit(Request::new(
-                id,
-                session.arrival,
-                session.prompt_len,
-                session.output_len,
-            ));
+            self.engine
+                .submit(Request::new(id, session.arrival, session.prompt_len, session.output_len))
+                .expect("submission was validated against capacity and down-state");
         }
     }
 
@@ -619,6 +781,7 @@ impl Server {
         ServerReport {
             completed: self.engine.completed().len(),
             cancelled: self.cancelled.len(),
+            dropped: self.dropped.len(),
             makespan: self.engine.now(),
             iterations: self.iterations,
             busy_iterations: self.busy_iterations,
@@ -657,9 +820,11 @@ mod tests {
         let mut server = Server::new(engine());
         let seen: Rc<RefCell<Vec<TokenEvent>>> = Rc::new(RefCell::new(Vec::new()));
         let sink = Rc::clone(&seen);
-        let handle = server.submit_with_callback(0.0, 200, 24, move |e| {
-            sink.borrow_mut().push(*e);
-        });
+        let handle = server
+            .submit_with_callback(0.0, 200, 24, move |e| {
+                sink.borrow_mut().push(*e);
+            })
+            .unwrap();
         let report = server.run_until_idle();
         assert_eq!(report.completed, 1);
         let events = seen.borrow();
@@ -678,7 +843,7 @@ mod tests {
     fn ttft_and_itl_are_positive_and_consistent() {
         let mut server = Server::new(engine());
         for i in 0..8 {
-            server.submit(i as f64 * 0.3, 300, 20);
+            server.submit(i as f64 * 0.3, 300, 20).unwrap();
         }
         let report = server.run_until_idle();
         assert_eq!(report.completed, 8);
@@ -694,8 +859,8 @@ mod tests {
     #[test]
     fn cancellation_mid_decode_frees_kv_and_stops_streaming() {
         let mut server = Server::new(engine());
-        let long = server.submit(0.0, 400, 5_000);
-        let short = server.submit(0.0, 400, 30);
+        let long = server.submit(0.0, 400, 5_000).unwrap();
+        let short = server.submit(0.0, 400, 30).unwrap();
         // Run until the long request has streamed a few tokens.
         while server.sessions[long.id() as usize].token_times.len() < 3 {
             assert!(server.tick());
@@ -728,8 +893,8 @@ mod tests {
     #[test]
     fn cancel_before_arrival_suppresses_the_request() {
         let mut server = Server::new(engine());
-        let a = server.submit(5.0, 100, 10);
-        let b = server.submit(0.0, 100, 10);
+        let a = server.submit(5.0, 100, 10).unwrap();
+        let b = server.submit(0.0, 100, 10).unwrap();
         server.cancel(a, 1.0);
         let report = server.run_until_idle();
         assert_eq!(report.completed, 1);
@@ -751,7 +916,7 @@ mod tests {
         // A timeout-style cancellation scheduled far in the future must not drag the
         // makespan out to its timestamp once the request has already finished.
         let mut server = Server::new(engine());
-        let h = server.submit(0.0, 100, 10);
+        let h = server.submit(0.0, 100, 10).unwrap();
         server.cancel(h, 300.0);
         let report = server.run_until_idle();
         assert_eq!(report.completed, 1);
@@ -768,7 +933,8 @@ mod tests {
     fn backpressure_delays_but_never_drops() {
         let config = EngineConfig { max_waiting_requests: 2, ..EngineConfig::default() };
         let mut server = Server::new(engine_with(config));
-        let handles: Vec<RequestHandle> = (0..24).map(|_| server.submit(0.0, 600, 12)).collect();
+        let handles: Vec<RequestHandle> =
+            (0..24).map(|_| server.submit(0.0, 600, 12).unwrap()).collect();
         // Deliver the arrivals: only 2 fit the waitqueue, the rest must queue server-side.
         assert!(server.tick());
         assert!(server.max_backlog() >= 20, "backpressure must engage");
@@ -784,8 +950,8 @@ mod tests {
     #[test]
     fn events_fire_in_time_order_even_when_submitted_out_of_order() {
         let mut server = Server::new(engine());
-        let late = server.submit(2.0, 100, 4);
-        let early = server.submit(0.5, 100, 4);
+        let late = server.submit(2.0, 100, 4).unwrap();
+        let early = server.submit(0.5, 100, 4).unwrap();
         let report = server.run_until_idle();
         assert_eq!(report.completed, 2);
         let first_late = server.sessions[late.id() as usize].token_times[0];
@@ -800,7 +966,7 @@ mod tests {
         let mut server = Server::new(engine_with(config));
         assert_eq!(server.queue_depth(), 0);
         for _ in 0..6 {
-            server.submit(0.0, 400, 8);
+            server.submit(0.0, 400, 8).unwrap();
         }
         assert!(server.tick());
         // Two admitted into the engine, four held in the server backlog: the router
@@ -815,8 +981,8 @@ mod tests {
     fn next_activity_tracks_arrivals_and_busy_engine_clock() {
         let mut server = Server::new(engine());
         assert_eq!(server.next_activity(), None);
-        server.submit(3.0, 100, 4);
-        server.submit(7.0, 100, 4);
+        server.submit(3.0, 100, 4).unwrap();
+        server.submit(7.0, 100, 4).unwrap();
         assert_eq!(server.next_activity(), Some(3.0), "idle server wakes at the next arrival");
         assert!(server.tick());
         let busy = server.next_activity().expect("engine is busy");
@@ -828,12 +994,12 @@ mod tests {
     #[test]
     fn next_activity_ignores_arrivals_suppressed_by_earlier_cancels() {
         let mut server = Server::new(engine());
-        let doomed = server.submit(5.0, 100, 4);
+        let doomed = server.submit(5.0, 100, 4).unwrap();
         server.cancel(doomed, 1.0);
         // The only pending arrival is suppressed by the earlier cancel: waking at 5.0
         // would only deliver inert events, so the server reports no activity.
         assert_eq!(server.next_activity(), None);
-        let live = server.submit(8.0, 100, 4);
+        let live = server.submit(8.0, 100, 4).unwrap();
         assert_eq!(server.next_activity(), Some(8.0));
         let report = server.run_until_idle();
         assert_eq!(report.completed, 1);
@@ -844,8 +1010,8 @@ mod tests {
     #[test]
     fn poll_runs_only_work_starting_at_or_before_the_horizon() {
         let mut server = Server::new(engine());
-        server.submit(0.0, 200, 6);
-        server.submit(50.0, 200, 6);
+        server.submit(0.0, 200, 6).unwrap();
+        server.submit(50.0, 200, 6).unwrap();
         let steps = server.poll(10.0);
         assert!(steps > 0, "the t=0 request runs inside the horizon");
         assert_eq!(server.engine().completed().len(), 1);
@@ -878,15 +1044,107 @@ mod tests {
     #[should_panic(expected = "fresh engine")]
     fn used_engine_is_rejected() {
         let mut e = engine();
-        e.submit(Request::new(0, 0.0, 10, 2));
+        e.submit(Request::new(0, 0.0, 10, 2)).unwrap();
         let _ = Server::new(e);
+    }
+
+    #[test]
+    fn never_admissible_submission_is_rejected_typed() {
+        let mut server = Server::new(engine());
+        let capacity = server.engine().max_context_capacity();
+        let err = server.submit(0.0, capacity, 1).unwrap_err();
+        assert!(matches!(err, AdmitError::NeverAdmissible { .. }));
+        assert!(!server.tick(), "a rejected request leaves no work behind");
+        assert_eq!(server.report().dropped, 0, "rejected is not dropped: it never entered");
+    }
+
+    #[test]
+    fn backlog_limit_rejects_once_full() {
+        // A tight engine waitqueue forces arrivals to pool in the server backlog; with a
+        // backlog limit configured, submissions past it are rejected, not queued.
+        let config = EngineConfig { max_waiting_requests: 2, ..EngineConfig::default() };
+        let mut server = Server::new(engine_with(config)).with_max_backlog(10);
+        for _ in 0..20 {
+            server.submit(0.0, 600, 12).unwrap();
+        }
+        assert!(server.tick(), "arrivals land; 2 admitted, 18 pool in the backlog");
+        assert!(server.backlog_len() >= 10);
+        let err = server.submit(server.now(), 600, 12).unwrap_err();
+        assert!(matches!(err, AdmitError::BacklogFull { limit: 10, .. }));
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 20, "accepted requests still all finish");
+        assert_eq!(report.cancelled, 0);
+    }
+
+    #[test]
+    fn down_server_reports_no_activity_and_rejects_submissions() {
+        let mut server = Server::new(engine());
+        server.submit(0.0, 200, 40).unwrap();
+        server.submit(0.0, 200, 40).unwrap();
+        // Stream a few tokens so the failure lands mid-decode.
+        while server.engine().completed().is_empty() && server.streamed_tokens < 3 {
+            assert!(server.tick());
+        }
+        assert!(!server.is_down());
+        let orphans = server.fail();
+        assert!(server.is_down());
+        assert_eq!(orphans, vec![0, 1], "both live requests are orphaned, id-sorted");
+        assert_eq!(
+            server.next_activity(),
+            None,
+            "a down server must report no next activity, not spin"
+        );
+        assert_eq!(server.poll(f64::MAX), 0, "polling a down server does nothing");
+        assert_eq!(server.submit(server.now(), 100, 4), Err(AdmitError::EngineDown));
+        for &id in &orphans {
+            assert!(matches!(
+                server.status(RequestHandle { id }),
+                RequestStatus::Dropped { reason: DropReason::EngineFailed, .. }
+            ));
+        }
+        let report = server.report();
+        assert_eq!(report.dropped, 2);
+        assert_eq!(report.completed, 0);
+        // Recovery restores service from empty.
+        server.recover();
+        assert!(!server.is_down());
+        let h = server.submit(server.now(), 100, 4).unwrap();
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 1);
+        assert!(matches!(server.status(h), RequestStatus::Finished { .. }));
+        assert_eq!(report.dropped, 2, "orphans stay shed after recovery");
+    }
+
+    #[test]
+    fn drop_now_sheds_mid_decode_and_frees_kv() {
+        let mut server = Server::new(engine());
+        let victim = server.submit(0.0, 400, 5_000).unwrap();
+        let survivor = server.submit(0.0, 400, 30).unwrap();
+        while server.sessions[victim.id() as usize].token_times.len() < 3 {
+            assert!(server.tick());
+        }
+        assert_eq!(server.engine().kv().num_sequences(), 2);
+        server.drop_now(victim, DropReason::DeadlineExpired);
+        assert_eq!(server.engine().kv().num_sequences(), 1, "dropped KV is freed immediately");
+        assert!(matches!(
+            server.status(victim),
+            RequestStatus::Dropped { reason: DropReason::DeadlineExpired, generated: 3 }
+        ));
+        // Dropping again (or dropping a finished request) is a no-op.
+        server.drop_now(victim, DropReason::RetriesExhausted);
+        let report = server.run_until_idle();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.dropped, 1);
+        assert_eq!(server.dropped(), &[(victim.id(), DropReason::DeadlineExpired)]);
+        server.drop_now(survivor, DropReason::DeadlineExpired);
+        assert_eq!(server.report().dropped, 1, "finished requests cannot be dropped");
     }
 
     #[test]
     #[should_panic(expected = "exceeded")]
     fn iteration_budget_panics_on_livelock() {
         let mut server = Server::new(engine()).with_max_iterations(3);
-        server.submit(0.0, 5_000, 500);
+        server.submit(0.0, 5_000, 500).unwrap();
         let _ = server.run_until_idle();
     }
 }

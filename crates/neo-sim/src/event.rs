@@ -428,6 +428,34 @@ impl SerialLine {
     pub fn free_at(&self) -> f64 {
         self.free_at
     }
+
+    /// Current propagation latency, in seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// Current wire bandwidth, in bytes per second.
+    pub fn bytes_per_s(&self) -> f64 {
+        self.bytes_per_s
+    }
+
+    /// Re-rates the wire in place — a fault injector modelling congestion or a flaky
+    /// cable cuts bandwidth and adds latency mid-simulation. In-flight transfers keep
+    /// the delivery times they were quoted (`free_at` is preserved); only transfers
+    /// accepted after the call see the new rates.
+    ///
+    /// # Panics
+    ///
+    /// Same domain checks as [`SerialLine::new`].
+    pub fn reconfigure(&mut self, latency: f64, bytes_per_s: f64) {
+        assert!(latency.is_finite() && latency >= 0.0, "latency must be finite and >= 0");
+        assert!(
+            bytes_per_s.is_finite() && bytes_per_s > 0.0,
+            "bandwidth must be finite and positive"
+        );
+        self.latency = latency;
+        self.bytes_per_s = bytes_per_s;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -899,6 +927,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn serial_line_rejects_zero_bandwidth() {
         let _ = SerialLine::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn reconfigure_rerates_new_transfers_but_keeps_quoted_deliveries() {
+        let mut line = SerialLine::new(0.5, 100.0);
+        assert_eq!(line.delivery(0.0, 200.0), 2.5); // wire busy 0..2
+                                                    // Degrade mid-flight: bandwidth cut 10x, latency doubled.
+        line.reconfigure(1.0, 10.0);
+        assert_eq!(line.latency(), 1.0);
+        assert_eq!(line.bytes_per_s(), 10.0);
+        assert_eq!(line.free_at(), 2.0, "the in-flight transfer keeps its quoted slot");
+        // The next transfer queues behind the old slot but drains at the new rate.
+        assert_eq!(line.delivery(0.0, 10.0), 2.0 + 1.0 + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn reconfigure_rejects_zero_bandwidth() {
+        let mut line = SerialLine::new(0.0, 1.0);
+        line.reconfigure(0.0, 0.0);
     }
 
     // -- task graph ---------------------------------------------------------

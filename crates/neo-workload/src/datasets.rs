@@ -89,11 +89,14 @@ pub fn synthetic(
 /// heavy AC stream; the rest from the light OSC stream. Both are Poisson, seeded
 /// deterministically from `seed`, so the mix is reproducible.
 ///
-/// Unlike [`azure_code_like`], the heavy stream's prompt tail is clamped to 2.8k
-/// tokens: a fleet trace must be admissible on *every* engine it can be routed to,
-/// and the smallest Table 1 pairing (LLaMa-2-7B on the T4, 4k context and a few
-/// thousand tokens of KV headroom) cannot admit the AC trace's 8k-token outliers at
-/// all — a capacity-blind router would wedge the T4 on them forever.
+/// The heavy stream carries [`azure_code_like`]'s full 8k-token prompt tail. Not
+/// every fleet engine can admit those outliers — the smallest Table 1 pairing
+/// (LLaMa-2-7B on the T4, a few thousand tokens of KV headroom) cannot hold them at
+/// all — but admission is now *typed*: an engine refuses a never-admissible request
+/// at submission (`AdmitError::NeverAdmissible`) and the router re-routes it to an
+/// engine that can hold it, or sheds it with a typed reason if none can. The
+/// pre-typed-admission clamp to 2.8k tokens (which kept a capacity-blind router from
+/// wedging the T4 forever) is gone.
 ///
 /// # Panics
 ///
@@ -107,9 +110,8 @@ pub fn fleet_mix(n: usize, ac_fraction: f64, rate: f64, seed: u64) -> Trace {
     if ac_n > 0 {
         parts.push(generate(
             ac_n,
-            // azure_code_like's length statistics with the tail clamped to what the
-            // smallest fleet engine can admit.
-            &LengthDistribution::LogNormal { mu: 7.3, sigma: 0.7, min: 64, max: 2816 },
+            // azure_code_like's length statistics, full prompt tail included.
+            &LengthDistribution::LogNormal { mu: 7.3, sigma: 0.7, min: 64, max: 8192 },
             &LengthDistribution::LogNormal { mu: 4.9, sigma: 0.8, min: 8, max: 1024 },
             ArrivalProcess::Poisson { rate: rate * ac_fraction },
             seed,

@@ -1,0 +1,76 @@
+//! Per-request SLO deadlines.
+//!
+//! The paper's whole argument is about keeping *online* serving inside latency SLOs
+//! (§5.2 evaluates TTFT and per-token latency against fixed targets). [`SloPolicy`]
+//! turns that into a per-request completion deadline a serving layer can enforce: a
+//! request that cannot finish by its deadline is shed (typed as dropped) instead of
+//! occupying KV and pipeline slots that paying traffic needs.
+//!
+//! The policy is a trace-level overlay, not a trace field: the same trace can be
+//! replayed under different SLO regimes (or none) without regenerating it.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear completion-deadline policy: a request arriving at `t` with `n` output
+/// tokens must finish by `t + base_s + per_output_token_s · n`.
+///
+/// The two terms mirror the paper's two latency metrics — `base_s` budgets the TTFT
+/// (queueing + prefill), `per_output_token_s` budgets the decode at an acceptable
+/// inter-token latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloPolicy {
+    /// Fixed budget covering queueing and prefill, in seconds.
+    pub base_s: f64,
+    /// Decode budget per output token, in seconds.
+    pub per_output_token_s: f64,
+}
+
+impl SloPolicy {
+    /// A policy with the given fixed and per-output-token budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either budget is negative or not finite.
+    pub fn new(base_s: f64, per_output_token_s: f64) -> Self {
+        assert!(base_s.is_finite() && base_s >= 0.0, "base budget must be finite and >= 0");
+        assert!(
+            per_output_token_s.is_finite() && per_output_token_s >= 0.0,
+            "per-token budget must be finite and >= 0"
+        );
+        Self { base_s, per_output_token_s }
+    }
+
+    /// Completion deadline for a request arriving at `arrival` with `output_len`
+    /// output tokens.
+    pub fn deadline(&self, arrival: f64, output_len: usize) -> f64 {
+        arrival + self.base_s + self.per_output_token_s * output_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_is_linear_in_output_length() {
+        let slo = SloPolicy::new(10.0, 0.5);
+        assert_eq!(slo.deadline(2.0, 0), 12.0);
+        assert_eq!(slo.deadline(2.0, 100), 62.0);
+        let longer = SloPolicy::new(10.0, 0.5).deadline(2.0, 101);
+        assert!(longer > slo.deadline(2.0, 100));
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let slo = SloPolicy::new(30.0, 0.25);
+        let json = serde_json::to_string(&slo).unwrap();
+        let back: SloPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(slo, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative_budgets() {
+        let _ = SloPolicy::new(-1.0, 0.0);
+    }
+}

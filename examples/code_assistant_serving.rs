@@ -50,7 +50,7 @@ fn main() {
             } else {
                 server.submit(event.time, event.prompt_len, event.output_len)
             };
-            handles.push(handle);
+            handles.push(handle.expect("trace requests fit the A10G pools"));
         }
 
         // One impatient user: request #5 is abandoned two seconds after it arrives.

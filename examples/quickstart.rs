@@ -18,7 +18,7 @@ fn run(label: &str, scheduler: Box<dyn Scheduler>) -> (f64, f64) {
 
     // 64 chat-style requests: 600-token prompts, 120 output tokens, all arriving at once.
     for id in 0..64 {
-        engine.submit(Request::new(id, 0.0, 600, 120));
+        engine.submit(Request::new(id, 0.0, 600, 120)).unwrap();
     }
     engine.run_to_completion(1_000_000);
 

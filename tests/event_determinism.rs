@@ -43,7 +43,9 @@ fn t4_engine(seed: u64) -> Engine {
 fn t4_iteration_reports(seed: u64) -> String {
     let mut engine = t4_engine(seed);
     for id in 0..T4_REQUESTS as u64 {
-        engine.submit(Request::new(id, 0.0, T4_PROMPT + (id as usize % 3) * 40, T4_OUTPUT));
+        engine
+            .submit(Request::new(id, 0.0, T4_PROMPT + (id as usize % 3) * 40, T4_OUTPUT))
+            .unwrap();
     }
     let mut rendered = String::new();
     while !engine.is_idle() {
@@ -58,7 +60,7 @@ fn t4_iteration_reports(seed: u64) -> String {
 fn t4_server_report(seed: u64) -> String {
     let mut server = Server::new(t4_engine(seed));
     for i in 0..T4_REQUESTS {
-        server.submit(i as f64 * 0.05, T4_PROMPT, T4_OUTPUT);
+        server.submit(i as f64 * 0.05, T4_PROMPT, T4_OUTPUT).unwrap();
     }
     format!("{:?}", server.run_until_idle())
 }
@@ -168,7 +170,7 @@ fn event_path_agrees_with_closed_form_within_pinned_tolerance() {
             let config = EngineConfig { overlap_model: model, ..EngineConfig::default() };
             let mut engine = scenario.engine_with_config(Policy::Neo, config);
             for id in 0..n_requests {
-                engine.submit(Request::new(id, 0.0, prompt, 24));
+                engine.submit(Request::new(id, 0.0, prompt, 24)).unwrap();
             }
             let mut reports = Vec::new();
             while !engine.is_idle() {
@@ -217,7 +219,7 @@ fn event_path_serves_the_same_workload_within_tolerance() {
         let config = EngineConfig { overlap_model: model, ..EngineConfig::default() };
         let mut server = Server::new(Scenario::a10g_8b().engine_with_config(Policy::Neo, config));
         for _ in 0..12 {
-            server.submit(0.0, 800, 16);
+            server.submit(0.0, 800, 16).unwrap();
         }
         server.run_until_idle()
     };

@@ -348,6 +348,80 @@ fn fig_cluster_sweep_deserializes_and_disciplines_are_registered() {
 }
 
 #[derive(Debug, Deserialize)]
+struct FaultSweepPoint {
+    discipline: String,
+    failover: bool,
+    outages: usize,
+    retry_budget: u32,
+    requests: usize,
+    completed: usize,
+    dropped: usize,
+    retries: u64,
+    p99_ttft: f64,
+    streamed_tokens: u64,
+}
+
+#[test]
+fn fig_fault_sweep_deserializes_and_failover_pays_for_itself() {
+    let points: Vec<FaultSweepPoint> = serde_json::from_str(&results_file("fig_fault_sweep.json"))
+        .expect("valid fig_fault_sweep JSON");
+    assert!(!points.is_empty());
+    for p in &points {
+        neo_cluster::Discipline::from_label(&p.discipline).unwrap_or_else(|| {
+            panic!("fig_fault_sweep.json: discipline {:?} is not registered", p.discipline)
+        });
+        // Conservation: goodput never exceeds offered load and every request ends
+        // terminal; the shed column is exactly the shortfall.
+        assert!(p.completed <= p.requests, "goodput cannot exceed offered load");
+        assert_eq!(p.completed + p.dropped, p.requests, "every request must end terminal");
+        // Retries are bounded by the per-request budget, and only exist with failover.
+        assert!(p.retries <= p.requests as u64 * p.retry_budget as u64);
+        if !p.failover {
+            assert_eq!(p.retries, 0, "no failover, no re-dispatch");
+        }
+        if p.completed > 0 {
+            assert!(p.p99_ttft.is_finite() && p.p99_ttft > 0.0);
+            assert!(p.streamed_tokens > 0);
+        }
+        // A faultless fleet under the generous sweep SLO sheds nothing.
+        if p.outages == 0 {
+            assert_eq!(p.dropped, 0);
+            assert_eq!(p.retries, 0);
+        }
+    }
+    // Every (outage count, discipline) cell is swept with failover both on and off.
+    let outage_counts: Vec<usize> = {
+        let mut o: Vec<usize> = points.iter().map(|p| p.outages).collect();
+        o.dedup();
+        o
+    };
+    assert!(outage_counts.len() >= 4, "needs ≥4 swept fault rates");
+    assert!(outage_counts.windows(2).all(|w| w[1] > w[0]), "fault rates ascend");
+    let cell = |outages: usize, d: &str, failover: bool| {
+        points
+            .iter()
+            .find(|p| p.outages == outages && p.discipline == d && p.failover == failover)
+            .unwrap_or_else(|| panic!("missing cell ({outages}, {d}, failover={failover})"))
+    };
+    // At the two highest fault rates, failover must dominate no-failover on goodput
+    // for every discipline — the whole point of the retry path.
+    for &outages in &outage_counts[outage_counts.len() - 2..] {
+        for d in neo_cluster::Discipline::ALL {
+            let with = cell(outages, d.label(), true);
+            let without = cell(outages, d.label(), false);
+            assert!(
+                with.completed > without.completed,
+                "{}/{outages} outages: failover ({}) must beat no-failover ({})",
+                d.label(),
+                with.completed,
+                without.completed
+            );
+            assert!(with.retries > 0, "surviving a real outage requires re-dispatch");
+        }
+    }
+}
+
+#[derive(Debug, Deserialize)]
 struct AblationRow {
     ablation: String,
     value: String,

@@ -17,7 +17,7 @@ fn check_run(
     let gpu_capacity = engine.kv().pool(Device::Gpu).capacity_tokens();
     let cpu_capacity = engine.kv().pool(Device::Cpu).capacity_tokens();
     for (i, &(prompt, output)) in specs.iter().enumerate() {
-        engine.submit(Request::new(i as u64, 0.0, prompt, output));
+        engine.submit(Request::new(i as u64, 0.0, prompt, output)).unwrap();
     }
 
     let mut iterations = 0;
@@ -90,7 +90,7 @@ fn neo_uses_asymmetric_mode_under_memory_pressure() {
     let scenario = Scenario::t4_7b();
     let mut engine = scenario.engine(Policy::Neo);
     for id in 0..48 {
-        engine.submit(Request::new(id, 0.0, 250, 60));
+        engine.submit(Request::new(id, 0.0, 250, 60)).unwrap();
     }
     let mut saw_asymmetric = false;
     let mut iterations = 0;
@@ -110,7 +110,7 @@ fn gpu_only_baseline_never_touches_the_cpu_pool() {
     let scenario = Scenario::t4_7b();
     let mut engine = scenario.engine(Policy::VllmLike);
     for id in 0..32 {
-        engine.submit(Request::new(id, 0.0, 250, 40));
+        engine.submit(Request::new(id, 0.0, 250, 40)).unwrap();
     }
     let mut iterations = 0;
     while !engine.is_idle() && iterations < 400_000 {

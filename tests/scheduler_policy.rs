@@ -70,6 +70,7 @@ impl Fixture {
             cpu_run: &self.cpu_run,
             gpu_free_tokens: self.gpu_free,
             cpu_free_tokens: self.cpu_free,
+            gpu_capacity_tokens: self.gpu_free,
             prefill_device: &self.prefill_device,
             admission_backlog: 0,
         }
@@ -207,7 +208,7 @@ proptest! {
         for policy in Policy::ALL {
             let mut engine = scenario.engine(policy);
             for (i, &(prompt, output)) in specs.iter().enumerate() {
-                engine.submit(Request::new(i as u64, 0.0, prompt, output));
+                engine.submit(Request::new(i as u64, 0.0, prompt, output)).unwrap();
             }
             let mut iterations = 0u64;
             while !engine.is_idle() && iterations < 400_000 {
@@ -237,7 +238,7 @@ fn pipo_decision_trace_is_pinned() {
     let scenario = Scenario::t4_7b();
     let mut e = scenario.engine(Policy::Pipo);
     for id in 0..4 {
-        e.submit(Request::new(id, 0.0, 600, 4));
+        e.submit(Request::new(id, 0.0, 600, 4)).unwrap();
     }
     // Prefill: 600-token prompts in 512/88-token chunks, all four requests interleaved
     // under the 2048-token budget; the completing chunk emits the first output token.
@@ -259,7 +260,7 @@ fn specoffload_decision_trace_is_pinned() {
     let scenario = Scenario::t4_7b();
     let mut e = scenario.engine(Policy::SpecOffload);
     for id in 0..24 {
-        e.submit(Request::new(id, 0.0, 400, 16));
+        e.submit(Request::new(id, 0.0, 400, 16)).unwrap();
     }
     let mut saw_swap_out = false;
     let mut saw_speculative_mix = false;

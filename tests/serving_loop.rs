@@ -20,9 +20,11 @@ fn streaming_callbacks_fire_once_per_token_in_arrival_order() {
         let log: Rc<RefCell<Vec<TokenEvent>>> = Rc::new(RefCell::new(Vec::new()));
         for event in trace.events() {
             let sink = Rc::clone(&log);
-            server.submit_with_callback(event.time, event.prompt_len, event.output_len, move |t| {
-                sink.borrow_mut().push(*t)
-            });
+            server
+                .submit_with_callback(event.time, event.prompt_len, event.output_len, move |t| {
+                    sink.borrow_mut().push(*t)
+                })
+                .unwrap();
         }
         let report = server.run_until_idle();
         assert_eq!(report.completed, trace.len());
@@ -50,8 +52,8 @@ fn cancellation_mid_decode_frees_kv_blocks_on_the_t4() {
     // otherwise abandoned requests would keep strangling the GPU cache.
     let scenario = Scenario::t4_7b();
     let mut server = Server::new(scenario.engine(Policy::Neo)).with_max_iterations(20_000_000);
-    let victims: Vec<_> = (0..8).map(|_| server.submit(0.0, 300, 4_000)).collect();
-    let survivor = server.submit(0.0, 300, 60);
+    let victims: Vec<_> = (0..8).map(|_| server.submit(0.0, 300, 4_000).unwrap()).collect();
+    let survivor = server.submit(0.0, 300, 60).unwrap();
 
     // Run until every request occupies KV and has streamed at least one token.
     while server.engine().completed().is_empty()
@@ -91,8 +93,10 @@ fn admission_backpressure_delays_but_never_drops_requests() {
     let trace = osc_like(50, ArrivalProcess::Poisson { rate: 50.0 }, 13);
     let mut server = Server::new(scenario.engine_with_config(Policy::Neo, config))
         .with_max_iterations(20_000_000);
-    let handles: Vec<_> =
-        trace.events().map(|e| server.submit(e.time, e.prompt_len, e.output_len)).collect();
+    let handles: Vec<_> = trace
+        .events()
+        .map(|e| server.submit(e.time, e.prompt_len, e.output_len).unwrap())
+        .collect();
     let report = server.run_until_idle();
     assert!(report.max_backlog > 0, "the burst must exercise the backlog");
     assert_eq!(report.completed, trace.len(), "backpressure delays, never drops");
@@ -113,7 +117,7 @@ fn run_online_matches_a_manual_event_loop_replay() {
 
     let mut server = Server::new(scenario.engine(Policy::Neo)).with_max_iterations(20_000_000);
     for event in trace.events() {
-        server.submit(event.time, event.prompt_len, event.output_len);
+        server.submit(event.time, event.prompt_len, event.output_len).unwrap();
     }
     let report = server.run_until_idle();
 

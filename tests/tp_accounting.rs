@@ -222,7 +222,7 @@ fn h100_70b_decision_trace_is_pinned() {
     let scenario = Scenario::h100_70b();
     let mut engine = scenario.engine(Policy::Neo);
     for id in 0..24u64 {
-        engine.submit(Request::new(id, 0.0, 2000, 60));
+        engine.submit(Request::new(id, 0.0, 2000, 60)).unwrap();
     }
     let mut trace = Vec::new();
     while !engine.is_idle() && engine.iterations() < 1000 {
