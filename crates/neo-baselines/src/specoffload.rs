@@ -211,6 +211,7 @@ mod tests {
             match device {
                 Device::Gpu => self.gpu_run.push(id),
                 Device::Cpu => self.cpu_run.push(id),
+                Device::Disk => unreachable!("tests place requests on GPU or CPU"),
             }
         }
 
@@ -222,10 +223,12 @@ mod tests {
                 waiting: &self.waiting,
                 gpu_run: &self.gpu_run,
                 cpu_run: &self.cpu_run,
+                disk_run: &[],
                 // Small enough that the swap-in watermark never pulls the CPU-resident
                 // candidates back to the GPU, so the speculation path stays exercised.
                 gpu_free_tokens: 100,
                 cpu_free_tokens: 400_000,
+                disk_free_tokens: 0,
                 gpu_capacity_tokens: 100,
                 prefill_device: &self.prefill_device,
                 admission_backlog: 0,

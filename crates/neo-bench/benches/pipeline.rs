@@ -32,6 +32,8 @@ fn decision(n_gpu: usize, n_cpu: usize) -> ScheduleDecision {
         swap_out: vec![],
         swap_in: vec![],
         preempt: vec![],
+        demote_disk: vec![],
+        promote_disk: vec![],
     }
 }
 

@@ -74,8 +74,10 @@ fn ctx(fx: &Fixture) -> ScheduleContext<'_> {
         waiting: &fx.waiting,
         gpu_run: &fx.gpu_run,
         cpu_run: &fx.cpu_run,
+        disk_run: &[],
         gpu_free_tokens: 30_000,
         cpu_free_tokens: 300_000,
+        disk_free_tokens: 0,
         gpu_capacity_tokens: 30_000,
         prefill_device: &fx.prefill_device,
         admission_backlog: 0,

@@ -115,6 +115,13 @@ pub struct ScheduleDecision {
     /// prefill waitqueue for recomputation (vLLM-style eviction under memory pressure,
     /// used when neither the GPU-cache nor the CPU-cache can hold them).
     pub preempt: Vec<u64>,
+    /// CPU-resident requests whose KV cache is demoted to the disk tier before this
+    /// iteration runs (to make room in the CPU cache). Empty unless the disk tier is
+    /// enabled ([`crate::EngineConfig::disk_tier`]).
+    pub demote_disk: Vec<u64>,
+    /// Disk-resident requests whose KV cache is promoted back to the CPU cache before
+    /// this iteration runs. Disk-resident requests cannot decode until promoted.
+    pub promote_disk: Vec<u64>,
 }
 
 impl Default for ScheduleDecision {
@@ -133,17 +140,21 @@ impl ScheduleDecision {
             swap_out: Vec::new(),
             swap_in: Vec::new(),
             preempt: Vec::new(),
+            demote_disk: Vec::new(),
+            promote_disk: Vec::new(),
         }
     }
 
-    /// Whether the decision schedules no work at all (no batches, no swaps, no
-    /// preemptions).
+    /// Whether the decision schedules no work at all (no batches, no swaps, no tier
+    /// moves, no preemptions).
     pub fn is_idle(&self) -> bool {
         self.batch0.is_empty()
             && self.batch1.is_empty()
             && self.swap_out.is_empty()
             && self.swap_in.is_empty()
             && self.preempt.is_empty()
+            && self.demote_disk.is_empty()
+            && self.promote_disk.is_empty()
     }
 
     /// Total sequences producing an output token this iteration (the paper's batch size
@@ -211,6 +222,13 @@ mod tests {
         let mut with_swap = ScheduleDecision::idle();
         with_swap.swap_in.push(7);
         assert!(!with_swap.is_idle());
+        // Pure tier moves also count as work: the engine must apply them.
+        let mut with_demote = ScheduleDecision::idle();
+        with_demote.demote_disk.push(8);
+        assert!(!with_demote.is_idle());
+        let mut with_promote = ScheduleDecision::idle();
+        with_promote.promote_disk.push(9);
+        assert!(!with_promote.is_idle());
     }
 
     #[test]
@@ -226,6 +244,8 @@ mod tests {
             swap_out: vec![],
             swap_in: vec![],
             preempt: vec![],
+            demote_disk: vec![],
+            promote_disk: vec![],
         };
         assert_eq!(d.batch_size(), 7);
         assert_eq!(d.total_linear_tokens(), 153 + 2);

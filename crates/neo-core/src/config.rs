@@ -60,6 +60,17 @@ pub struct EngineConfig {
     /// shake out ordering races (see [`neo_sim::event::TieBreak::from_seed`]). The
     /// closed-form path ignores this.
     pub event_tie_break_seed: u64,
+    /// Whether the shared-prefix KV cache is enabled: prompt blocks of prefilled GPU
+    /// sequences are indexed by token-run identity and later requests adopt matching
+    /// prefixes copy-on-write instead of re-prefilling them. Off by default; with no
+    /// shared prefixes in the trace the enabled cache is bit-identical to off
+    /// (pay-for-what-you-use).
+    pub prefix_cache: bool,
+    /// Whether the disk/NVMe KV tier is enabled: when the CPU cache fills, the scheduler
+    /// demotes CPU-resident sequences to disk (priced by the cost model's NVMe terms)
+    /// instead of preempting them, and promotes them back under a free-space hysteresis.
+    /// Off by default.
+    pub disk_tier: bool,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +86,8 @@ impl Default for EngineConfig {
             max_waiting_requests: 1024,
             overlap_model: OverlapModel::ClosedForm,
             event_tie_break_seed: 0,
+            prefix_cache: false,
+            disk_tier: false,
         }
     }
 }
@@ -131,9 +144,23 @@ mod tests {
             max_waiting_requests: 0,
             overlap_model: OverlapModel::EventOrdered,
             event_tie_break_seed: 3,
+            prefix_cache: true,
+            disk_tier: true,
         };
         let problems = bad.validate();
         assert_eq!(problems.len(), 7);
+    }
+
+    #[test]
+    fn kv_hierarchy_features_default_off_and_round_trip() {
+        let c = EngineConfig::default();
+        assert!(!c.prefix_cache);
+        assert!(!c.disk_tier);
+        let on = EngineConfig { prefix_cache: true, disk_tier: true, ..EngineConfig::default() };
+        assert!(on.validate().is_empty(), "feature flags are always valid");
+        let json = serde_json::to_string(&on).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(on, back);
     }
 
     #[test]

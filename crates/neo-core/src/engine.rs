@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use neo_kvcache::manager::{KvCacheConfig, KvCacheManager};
-use neo_kvcache::Device;
+use neo_kvcache::{expand, Device, TokenRun};
 use neo_sim::profiler::ProfiledCostModel;
 use neo_sim::{CostModel, SimClock};
 
@@ -31,6 +31,12 @@ const IDLE_QUANTUM: f64 = 1e-3;
 
 /// Tokens per KV block used by the engine's cache accounting.
 const BLOCK_SIZE: usize = 16;
+
+/// Namespace bit for the synthetic token runs given to requests submitted without a
+/// workload-provided prompt identity. Each such prompt gets a run unique to its request
+/// id, so it can be indexed by the prefix cache but never matches another prompt.
+/// Workload generators must keep their run ids below this bit.
+const OPAQUE_RUN_NS: u64 = 1 << 63;
 
 /// Summary of one executed iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +61,10 @@ pub struct IterationReport {
     pub swapped_out: usize,
     /// Requests swapped CPU→GPU before the iteration.
     pub swapped_in: usize,
+    /// Requests demoted CPU→disk before the iteration (0 unless the disk tier is on).
+    pub demoted_disk: usize,
+    /// Requests promoted disk→CPU before the iteration.
+    pub promoted_disk: usize,
     /// Whether the iteration was an idle quantum (no work executed).
     pub idle: bool,
 }
@@ -71,6 +81,7 @@ pub struct Engine {
     waiting: Vec<u64>,
     gpu_run: Vec<u64>,
     cpu_run: Vec<u64>,
+    disk_run: Vec<u64>,
     prefill_device: HashMap<u64, Device>,
     completed: Vec<Request>,
     iterations: u64,
@@ -109,12 +120,17 @@ impl Engine {
         // pool is sized from the tightest tensor-parallel rank: a token is admitted only
         // if every rank can hold its KV shard.
         let cost = cost.with_max_batch_tokens(config.max_batch_tokens);
-        let kv = KvCacheManager::new(KvCacheConfig {
-            block_size: BLOCK_SIZE,
-            gpu_capacity_tokens: cost.gpu_kv_capacity_tokens(),
-            cpu_capacity_tokens: cost.cpu_kv_capacity_tokens(),
-            kv_bytes_per_token: cost.kv_bytes_per_token(),
-        });
+        let disk_capacity = if config.disk_tier { cost.disk_kv_capacity_tokens() } else { 0 };
+        let kv = KvCacheManager::with_features(
+            KvCacheConfig {
+                block_size: BLOCK_SIZE,
+                gpu_capacity_tokens: cost.gpu_kv_capacity_tokens(),
+                cpu_capacity_tokens: cost.cpu_kv_capacity_tokens(),
+                kv_bytes_per_token: cost.kv_bytes_per_token(),
+            },
+            config.prefix_cache,
+            disk_capacity,
+        );
         let sched_cost = ProfiledCostModel::with_noise(cost.clone(), config.profile_noise);
         Self {
             cost,
@@ -127,6 +143,7 @@ impl Engine {
             waiting: Vec::new(),
             gpu_run: Vec::new(),
             cpu_run: Vec::new(),
+            disk_run: Vec::new(),
             prefill_device: HashMap::new(),
             completed: Vec::new(),
             iterations: 0,
@@ -181,9 +198,41 @@ impl Engine {
                 capacity_tokens: capacity,
             });
         }
-        self.waiting.push(request.id);
-        self.requests.insert(request.id, request);
+        let id = request.id;
+        self.waiting.push(id);
+        self.requests.insert(id, request);
+        if self.config.prefix_cache {
+            self.adopt_prefix_on_submit(id);
+        }
         Ok(())
+    }
+
+    /// Tries to serve the head of a newly submitted request's prompt from the
+    /// shared-prefix cache. On a hit the matching span is marked prefilled immediately
+    /// (adopted copy-on-write from the cache, pinning the request's remaining prefill to
+    /// the GPU); only the uncached remainder — always at least one token — is left for
+    /// the prefill scheduler. Requests without a workload-provided prompt identity get a
+    /// unique synthetic token run: they can be indexed but never match another prompt,
+    /// so with zero sharing in the trace the cache changes nothing by construction.
+    /// Requests whose total context exceeds the GPU pool are skipped — adopted blocks
+    /// are GPU-resident and such requests may need to live on the CPU.
+    fn adopt_prefix_on_submit(&mut self, id: u64) {
+        let req = self.requests.get_mut(&id).expect("just inserted");
+        if req.total_tokens() > self.kv.config().gpu_capacity_tokens {
+            return;
+        }
+        if req.prompt_runs.is_empty() {
+            req.prompt_runs = vec![TokenRun { id: OPAQUE_RUN_NS | id, len: req.prompt_len }];
+        }
+        let runs = req.prompt_runs.clone();
+        let max_tokens = req.prompt_len - 1;
+        let tokens = expand(&runs);
+        let adoption = self.kv.adopt_prefix(id, &tokens, max_tokens).expect("request id is fresh");
+        if adoption.cached_tokens > 0 {
+            let req = self.requests.get_mut(&id).expect("just inserted");
+            req.advance_prefill(adoption.cached_tokens);
+            self.prefill_device.insert(id, Device::Gpu);
+        }
     }
 
     /// The largest total context (prompt + output tokens) a single request can ever
@@ -268,6 +317,7 @@ impl Engine {
         let _ = self.kv.free_sequence(id);
         self.gpu_run.retain(|&x| x != id);
         self.cpu_run.retain(|&x| x != id);
+        self.disk_run.retain(|&x| x != id);
         self.prefill_device.remove(&id);
     }
 
@@ -330,6 +380,22 @@ impl Engine {
         &self.config
     }
 
+    /// Cumulative prompt tokens served from the shared-prefix cache instead of being
+    /// prefilled (0 unless [`EngineConfig::prefix_cache`] is on).
+    pub fn prefix_hit_tokens(&self) -> usize {
+        self.kv.prefix_hit_tokens()
+    }
+
+    /// Cumulative copy-on-write block splits performed for partial prefix hits.
+    pub fn cow_splits(&self) -> usize {
+        self.kv.cow_splits()
+    }
+
+    /// Requests currently demoted to the disk tier.
+    pub fn disk_resident(&self) -> usize {
+        self.disk_run.len()
+    }
+
     /// Executes one iteration and returns its report.
     pub fn step(&mut self) -> IterationReport {
         self.iterations += 1;
@@ -343,8 +409,10 @@ impl Engine {
                 waiting: &self.waiting,
                 gpu_run: &self.gpu_run,
                 cpu_run: &self.cpu_run,
+                disk_run: &self.disk_run,
                 gpu_free_tokens: self.kv.free_tokens(Device::Gpu),
                 cpu_free_tokens: self.kv.free_tokens(Device::Cpu),
+                disk_free_tokens: self.kv.free_tokens(Device::Disk),
                 gpu_capacity_tokens: self.kv.config().gpu_capacity_tokens,
                 prefill_device: &self.prefill_device,
                 admission_backlog: self.admission_backlog,
@@ -365,6 +433,8 @@ impl Engine {
                 cpu_offloaded: 0,
                 swapped_out: 0,
                 swapped_in: 0,
+                demoted_disk: 0,
+                promoted_disk: 0,
                 idle: true,
             };
         }
@@ -380,6 +450,19 @@ impl Engine {
             request.preempt();
             if !self.waiting.contains(&id) {
                 self.waiting.push(id);
+            }
+        }
+
+        // Disk demotions free CPU cache room before the swap-outs that need it. Demoted
+        // requests stay `RunningCpu` (the disk tier is an extension of the host cache);
+        // they just cannot decode until promoted back.
+        let mut demote_tokens = 0usize;
+        let mut demoted_disk = 0usize;
+        for &id in &decision.demote_disk {
+            if self.kv.swap(id, Device::Disk).is_ok() {
+                demote_tokens += self.requests[&id].context_len();
+                move_id(&mut self.cpu_run, &mut self.disk_run, id);
+                demoted_disk += 1;
             }
         }
 
@@ -410,6 +493,17 @@ impl Engine {
             }
         }
 
+        // Disk promotions claim the CPU room the scheduler verified was free.
+        let mut promote_tokens = 0usize;
+        let mut promoted_disk = 0usize;
+        for &id in &decision.promote_disk {
+            if self.kv.swap(id, Device::Cpu).is_ok() {
+                promote_tokens += self.requests[&id].context_len();
+                move_id(&mut self.disk_run, &mut self.cpu_run, id);
+                promoted_disk += 1;
+            }
+        }
+
         // "Execute": charge the iteration's duration from the exact cost model, via the
         // configured overlap model (closed forms are the pinned reference; the
         // event-ordered path derives the overlap from event ordering instead).
@@ -430,7 +524,11 @@ impl Engine {
                 neo_sim::event::TieBreak::from_seed(self.config.event_tie_break_seed),
             ),
         };
-        let end_time = self.clock.advance(estimate.total_time.max(1e-6));
+        // NVMe traffic does not share the PCIe swap path's layer-wise overlap machinery:
+        // disk demotions/promotions are charged serially on top of the iteration.
+        let disk_time = self.cost.disk_write_time_total(demote_tokens)
+            + self.cost.disk_read_time_total(promote_tokens);
+        let end_time = self.clock.advance((estimate.total_time + disk_time).max(1e-6));
 
         // Prefill progress.
         let mut prefill_tokens = 0usize;
@@ -452,11 +550,21 @@ impl Engine {
                 // The prefill iteration also emits the first output token.
                 request.advance_decode(end_time);
                 decode_tokens += 1;
+                let finished = request.is_finished();
+                let runs = request.prompt_runs.clone();
+                // Register the finished prompt's blocks in the prefix cache *before*
+                // possibly retiring the request, so even one-token answers leave their
+                // prompt behind for later requests to adopt.
+                if self.config.prefix_cache && item.target == Device::Gpu && !runs.is_empty() {
+                    let _ = self.kv.insert_prefix(item.req, &expand(&runs));
+                }
                 self.waiting.retain(|&w| w != item.req);
                 self.prefill_device.remove(&item.req);
-                if request.is_finished() {
+                if finished {
                     self.retire(item.req, item.target);
                 } else {
+                    let request =
+                        self.requests.get_mut(&item.req).expect("scheduled request exists");
                     match item.target {
                         Device::Gpu => {
                             request.state = RequestState::RunningGpu;
@@ -466,6 +574,7 @@ impl Engine {
                             request.state = RequestState::RunningCpu;
                             self.cpu_run.push(item.req);
                         }
+                        Device::Disk => unreachable!("prefills never target the disk tier"),
                     }
                 }
             }
@@ -513,6 +622,8 @@ impl Engine {
             cpu_offloaded,
             swapped_out,
             swapped_in,
+            demoted_disk,
+            promoted_disk,
             idle: false,
         }
     }
@@ -809,6 +920,114 @@ mod tests {
         e.submit(Request::new(3, 0.0, 50, 4)).unwrap();
         e.run_to_completion(10_000);
         assert_eq!(e.completed().len(), 1);
+    }
+
+    #[test]
+    fn shared_prefix_is_adopted_instead_of_reprefilled() {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        let config = EngineConfig { prefix_cache: true, ..EngineConfig::default() };
+        let mut e = Engine::new(cost, config, Box::new(NeoScheduler::new()));
+        let shared = TokenRun { id: 1, len: 512 };
+        let r1 = Request::with_runs(1, 0.0, 600, 8, vec![shared, TokenRun { id: 101, len: 88 }]);
+        e.submit(r1).unwrap();
+        e.run_to_completion(10_000);
+        assert_eq!(e.prefix_hit_tokens(), 0, "first request has nothing to adopt");
+        // The second request shares the 512-token head; all 32 of its full blocks are
+        // adopted from the cache, so only the remainder is prefilled.
+        let r2 = Request::with_runs(2, 0.0, 600, 8, vec![shared, TokenRun { id: 102, len: 88 }]);
+        e.submit(r2).unwrap();
+        assert_eq!(e.prefix_hit_tokens(), 512);
+        assert_eq!(e.request(2).unwrap().prefilled, 512);
+        let prefill_before = e.total_prefill_tokens();
+        e.run_to_completion(10_000);
+        assert_eq!(e.completed().len(), 2);
+        assert_eq!(
+            e.total_prefill_tokens() - prefill_before,
+            88,
+            "only the uncached tail is prefilled"
+        );
+        assert_eq!(e.completed()[1].generated, 8);
+        assert_eq!(e.kv().num_sequences(), 0, "prefix blocks live in the index, not in seqs");
+    }
+
+    #[test]
+    fn partial_prefix_hits_split_copy_on_write() {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        let config = EngineConfig { prefix_cache: true, ..EngineConfig::default() };
+        let mut e = Engine::new(cost, config, Box::new(NeoScheduler::new()));
+        // 100 = 6 full blocks + a 4-token partial tail at block size 16.
+        let shared = TokenRun { id: 5, len: 100 };
+        e.submit(Request::with_runs(1, 0.0, 150, 4, vec![shared, TokenRun { id: 201, len: 50 }]))
+            .unwrap();
+        e.run_to_completion(10_000);
+        e.submit(Request::with_runs(2, 0.0, 150, 4, vec![shared, TokenRun { id: 202, len: 50 }]))
+            .unwrap();
+        // 96 full-block tokens shared plus the 4-token tail copied into a private block.
+        assert_eq!(e.prefix_hit_tokens(), 100);
+        assert_eq!(e.cow_splits(), 1);
+        e.run_to_completion(10_000);
+        assert_eq!(e.completed().len(), 2);
+    }
+
+    #[test]
+    fn prefix_cache_with_unique_prompts_matches_disabled_run_exactly() {
+        // Zero sharing: every iteration report must be identical with the cache on and
+        // off — the pay-for-what-you-use property the results regeneration relies on.
+        let run = |prefix_cache: bool| -> Vec<IterationReport> {
+            let cost = CostModel::new(ModelDesc::llama2_7b(), Testbed::g4dn_4xlarge(), 1);
+            let config = EngineConfig { prefix_cache, ..EngineConfig::default() };
+            let mut e = Engine::new(cost, config, Box::new(NeoScheduler::new()));
+            for id in 0..48 {
+                e.submit(Request::new(id, 0.0, 200 + (id as usize % 9) * 40, 12)).unwrap();
+            }
+            let mut reports = Vec::new();
+            while !e.is_idle() && reports.len() < 100_000 {
+                reports.push(e.step());
+            }
+            assert_eq!(e.completed().len(), 48);
+            reports
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off, on, "share-free trace must be bit-identical under the cache");
+    }
+
+    #[test]
+    fn disk_tier_absorbs_cpu_cache_overflow() {
+        // Shrink the host cache so the T4 burst overflows it; with the disk tier on the
+        // overflow demotes instead of preempting, and everything still finishes.
+        let mut testbed = Testbed::g4dn_4xlarge();
+        testbed.cpu_cache_fraction = 0.012;
+        let cost = CostModel::new(ModelDesc::llama2_7b(), testbed, 1);
+        let config = EngineConfig { disk_tier: true, ..EngineConfig::default() };
+        let mut e = Engine::new(cost, config, Box::new(NeoScheduler::new()));
+        assert!(e.kv().pool(Device::Disk).capacity_tokens() > 0);
+        for id in 0..48 {
+            e.submit(Request::new(id, 0.0, 400, 48)).unwrap();
+        }
+        let mut demoted = 0usize;
+        let mut promoted = 0usize;
+        let mut iters = 0usize;
+        while !e.is_idle() && iters < 200_000 {
+            let r = e.step();
+            demoted += r.demoted_disk;
+            promoted += r.promoted_disk;
+            iters += 1;
+        }
+        assert_eq!(e.completed().len(), 48);
+        assert!(demoted > 0, "the overflow must reach the disk tier");
+        assert!(promoted > 0, "demoted requests must come back to finish decoding");
+        assert_eq!(e.disk_resident(), 0);
+        assert_eq!(e.kv().num_sequences(), 0);
+    }
+
+    #[test]
+    fn disabled_disk_tier_has_zero_capacity() {
+        let e = a10g_engine();
+        assert_eq!(e.kv().pool(Device::Disk).capacity_tokens(), 0);
+        assert_eq!(e.prefix_hit_tokens(), 0);
+        assert_eq!(e.cow_splits(), 0);
+        assert_eq!(e.disk_resident(), 0);
     }
 
     #[test]

@@ -341,6 +341,8 @@ mod tests {
             swap_out: vec![],
             swap_in: vec![],
             preempt: vec![],
+            demote_disk: vec![],
+            promote_disk: vec![],
         }
     }
 

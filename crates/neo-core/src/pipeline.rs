@@ -332,6 +332,8 @@ mod tests {
             swap_out: vec![],
             swap_in: vec![],
             preempt: vec![],
+            demote_disk: vec![],
+            promote_disk: vec![],
         };
         let asym = estimate_asymmetric(&cm, &decision, 0, 0, true);
         assert_eq!(asym.batch_size, gpu_only.batch_size + 16);
@@ -360,6 +362,8 @@ mod tests {
             swap_out: vec![],
             swap_in: vec![],
             preempt: vec![],
+            demote_disk: vec![],
+            promote_disk: vec![],
         };
         let asym = estimate_asymmetric(&cm, &decision, 0, 0, true);
         let gpu_only = estimate_gpu_only(&cm, &decision.batch0, 0, 0, true);
@@ -381,6 +385,8 @@ mod tests {
             swap_out: vec![],
             swap_in: vec![],
             preempt: vec![],
+            demote_disk: vec![],
+            promote_disk: vec![],
         };
         let small = estimate_asymmetric(&cm, &mk(&small_cpu), 0, 0, true);
         let big = estimate_asymmetric(&cm, &mk(&big_cpu), 0, 0, true);
@@ -409,6 +415,8 @@ mod tests {
             swap_out: vec![],
             swap_in: vec![],
             preempt: vec![],
+            demote_disk: vec![],
+            promote_disk: vec![],
         };
         let overlapped = estimate_asymmetric(&cm, &decision, 0, 0, true);
         let deferred = estimate_asymmetric(&cm, &decision, 0, 0, false);
@@ -442,6 +450,8 @@ mod tests {
             swap_out: vec![],
             swap_in: vec![],
             preempt: vec![],
+            demote_disk: vec![],
+            promote_disk: vec![],
         };
         let hidden = estimate_streamed(&cm, &mk(&short), 0, 0);
         // A long-context streamed batch: the PCIe link re-carries far more KV per layer
@@ -466,6 +476,8 @@ mod tests {
             swap_out: vec![],
             swap_in: vec![],
             preempt: vec![],
+            demote_disk: vec![],
+            promote_disk: vec![],
         };
         let est = estimate_streamed(&cm, &d, 0, 0);
         assert_eq!(est.batch_size, 3);
@@ -486,6 +498,8 @@ mod tests {
             swap_out: vec![],
             swap_in: vec![],
             preempt: vec![],
+            demote_disk: vec![],
+            promote_disk: vec![],
         };
         let a = estimate_decision(&cm, &d, 0, 0, true);
         d.mode = ExecutionMode::Asymmetric;

@@ -47,11 +47,19 @@ pub struct IterationPlan {
     pub swap_in: Vec<u64>,
     /// Requests to preempt (KV discarded, re-queued for recomputation).
     pub preempt: Vec<u64>,
+    /// CPU-resident requests to demote to the disk tier before the iteration (frees
+    /// their CPU cache room). Only populated when [`crate::config::EngineConfig::disk_tier`]
+    /// is on.
+    pub demote_disk: Vec<u64>,
+    /// Disk-resident requests to promote back to the CPU cache before the iteration.
+    pub promote_disk: Vec<u64>,
     /// Free tokens remaining in the GPU KV pool, net of this plan's claims. Signed so
     /// phases can detect (and then resolve) overcommitment.
     pub gpu_free: i64,
     /// Free tokens remaining in the CPU KV pool, net of this plan's claims.
     pub cpu_free: i64,
+    /// Free tokens remaining in the disk KV tier, net of this plan's claims.
+    pub disk_free: i64,
 }
 
 impl IterationPlan {
@@ -64,8 +72,11 @@ impl IterationPlan {
             swap_out: Vec::new(),
             swap_in: Vec::new(),
             preempt: Vec::new(),
+            demote_disk: Vec::new(),
+            promote_disk: Vec::new(),
             gpu_free: ctx.gpu_free_tokens as i64,
             cpu_free: ctx.cpu_free_tokens as i64,
+            disk_free: ctx.disk_free_tokens as i64,
         }
     }
 
@@ -108,6 +119,7 @@ impl IterationPlan {
             match target {
                 Device::Gpu => self.gpu_free -= chunk as i64,
                 Device::Cpu => self.cpu_free -= chunk as i64,
+                Device::Disk => unreachable!("prefills never target the disk tier"),
             }
             let already = ctx.requests[&id].prefilled;
             self.batch0.prefills.push(PrefillItem {
@@ -142,6 +154,29 @@ impl IterationPlan {
             while self.gpu_free < 0 {
                 let Some((id, c)) = gpu_decodes.first().copied() else { break };
                 gpu_decodes.remove(0);
+                if self.cpu_free < (c + 1) as i64 && ctx.config.disk_tier {
+                    // The CPU cache is full: demote its largest-context residents to the
+                    // disk tier (cheaper than discarding KV outright) until the swap-out
+                    // fits or nothing demotable remains.
+                    let mut victims: Vec<(u64, usize)> = ctx
+                        .cpu_run
+                        .iter()
+                        .filter(|v| !self.demote_disk.contains(v))
+                        .map(|&v| (v, ctx.context_len(v)))
+                        .collect();
+                    victims.sort_by_key(|&(_, vc)| std::cmp::Reverse(vc));
+                    for (vid, vc) in victims {
+                        if self.cpu_free >= (c + 1) as i64 {
+                            break;
+                        }
+                        if self.disk_free < vc as i64 {
+                            continue;
+                        }
+                        self.demote_disk.push(vid);
+                        self.disk_free -= vc as i64;
+                        self.cpu_free += vc as i64;
+                    }
+                }
                 if self.cpu_free < (c + 1) as i64 {
                     // The CPU cache cannot hold it either: preempt the request entirely
                     // (vLLM-style recompute later) so the rest of the batch can progress.
@@ -173,6 +208,30 @@ impl IterationPlan {
             }
         }
         self.batch0.gpu_decodes = gpu_decodes;
+
+        // Disk promotion, with hysteresis: when no demotion happened this iteration and
+        // the CPU cache has at least twice the room the smallest disk-resident request
+        // needs, bring it back (one per iteration, so promotion never thrashes against
+        // the demotions above). When nothing is left on the CPU tier the hysteresis is
+        // waived — no future CPU release could ever widen the gap, so demanding double
+        // the room would park a large context on disk forever.
+        if ctx.config.disk_tier && self.demote_disk.is_empty() {
+            let smallest = ctx
+                .disk_run
+                .iter()
+                .map(|&id| (ctx.context_len(id), id))
+                .min()
+                .map(|(c, id)| (id, c));
+            if let Some((id, c)) = smallest {
+                let needed = (c + 1) as i64;
+                let threshold = if ctx.cpu_run.is_empty() { needed } else { 2 * needed };
+                if self.cpu_free >= threshold {
+                    self.promote_disk.push(id);
+                    self.cpu_free -= c as i64;
+                    self.disk_free += c as i64;
+                }
+            }
+        }
     }
 
     /// Finalises the plan into the decision the engine will execute.
@@ -184,6 +243,8 @@ impl IterationPlan {
             swap_out: self.swap_out,
             swap_in: self.swap_in,
             preempt: self.preempt,
+            demote_disk: self.demote_disk,
+            promote_disk: self.promote_disk,
         }
     }
 }
@@ -307,6 +368,8 @@ mod tests {
         waiting: Vec<u64>,
         gpu_run: Vec<u64>,
         cpu_run: Vec<u64>,
+        disk_run: Vec<u64>,
+        disk_free: usize,
         prefill_device: HashMap<u64, Device>,
         config: EngineConfig,
     }
@@ -318,6 +381,8 @@ mod tests {
                 waiting: vec![],
                 gpu_run: vec![],
                 cpu_run: vec![],
+                disk_run: vec![],
+                disk_free: 0,
                 prefill_device: HashMap::new(),
                 config: EngineConfig::default(),
             }
@@ -331,8 +396,10 @@ mod tests {
                 waiting: &self.waiting,
                 gpu_run: &self.gpu_run,
                 cpu_run: &self.cpu_run,
+                disk_run: &self.disk_run,
                 gpu_free_tokens: 10_000,
                 cpu_free_tokens: 100_000,
+                disk_free_tokens: self.disk_free,
                 gpu_capacity_tokens: 10_000,
                 prefill_device: &self.prefill_device,
                 admission_backlog: 0,
@@ -439,6 +506,98 @@ mod tests {
         });
         assert_eq!(plan.batch0.prefills.len(), 2);
         assert_eq!(plan.cpu_free, 100_000 - 200);
+    }
+
+    fn running(id: u64, ctx_len: usize) -> Request {
+        let mut r = Request::new(id, 0.0, ctx_len.max(1), 64);
+        r.advance_prefill(r.prompt_len);
+        r
+    }
+
+    #[test]
+    fn cpu_pressure_demotes_to_disk_instead_of_preempting() {
+        // A GPU decode must be shed, but the CPU cache is too full to take it. With the
+        // disk tier on, the largest CPU resident is demoted to make room; without it,
+        // the shed request is preempted outright.
+        let mut fx = Fixture::new();
+        fx.config.disk_tier = true;
+        fx.disk_free = 100_000;
+        fx.requests.insert(1, running(1, 500));
+        fx.gpu_run.push(1);
+        fx.requests.insert(2, running(2, 900));
+        fx.cpu_run.push(2);
+        let cm = cost();
+        let ctx = ScheduleContext { gpu_free_tokens: 0, cpu_free_tokens: 100, ..fx.ctx(&cm) };
+        let mut plan = IterationPlan::new(&ctx);
+        plan.form_gpu_first_batches(&ctx);
+        assert_eq!(plan.demote_disk, vec![2], "largest CPU resident is demoted");
+        assert_eq!(plan.swap_out, vec![1], "the shed decode now fits the CPU cache");
+        assert!(plan.preempt.is_empty());
+        assert_eq!(plan.disk_free, 100_000 - 900);
+
+        // Same pressure without the tier: preemption, exactly as before.
+        fx.config.disk_tier = false;
+        let ctx = ScheduleContext { gpu_free_tokens: 0, cpu_free_tokens: 100, ..fx.ctx(&cm) };
+        let mut plan = IterationPlan::new(&ctx);
+        plan.form_gpu_first_batches(&ctx);
+        assert!(plan.demote_disk.is_empty());
+        assert_eq!(plan.preempt, vec![1]);
+    }
+
+    #[test]
+    fn ample_cpu_room_promotes_the_smallest_disk_resident() {
+        let mut fx = Fixture::new();
+        fx.config.disk_tier = true;
+        fx.disk_free = 50_000;
+        fx.requests.insert(1, running(1, 800));
+        fx.requests.insert(2, running(2, 300));
+        fx.disk_run.extend([1, 2]);
+        let cm = cost();
+        let ctx = fx.ctx(&cm); // cpu_free 100_000: plenty of room
+        let mut plan = IterationPlan::new(&ctx);
+        plan.form_gpu_first_batches(&ctx);
+        assert_eq!(plan.promote_disk, vec![2], "smallest context first, one per iteration");
+        assert_eq!(plan.disk_free, 50_000 + 300);
+        assert_eq!(plan.cpu_free, 100_000 - 300);
+    }
+
+    #[test]
+    fn empty_cpu_tier_waives_the_promotion_hysteresis() {
+        // A parked context needing more than half the remaining CPU room would fail the
+        // 2x hysteresis forever when nothing on the CPU tier will ever free space; with
+        // the run queue empty a bare fit promotes it (the starvation guard).
+        let mut fx = Fixture::new();
+        fx.config.disk_tier = true;
+        fx.disk_free = 50_000;
+        fx.requests.insert(1, running(1, 800));
+        fx.disk_run.push(1);
+        let cm = cost();
+        // 900 free: less than 2 * (800 + 1), but the context fits and the CPU is empty.
+        let ctx = ScheduleContext { cpu_free_tokens: 900, ..fx.ctx(&cm) };
+        let mut plan = IterationPlan::new(&ctx);
+        plan.form_gpu_first_batches(&ctx);
+        assert_eq!(plan.promote_disk, vec![1], "bare fit promotes when the CPU is idle");
+
+        // With a CPU resident the hysteresis still applies at the same free level.
+        fx.requests.insert(2, running(2, 100));
+        fx.cpu_run.push(2);
+        let ctx = ScheduleContext { cpu_free_tokens: 900, ..fx.ctx(&cm) };
+        let mut plan = IterationPlan::new(&ctx);
+        plan.form_gpu_first_batches(&ctx);
+        assert!(plan.promote_disk.is_empty(), "hysteresis holds while CPU work remains");
+    }
+
+    #[test]
+    fn disabled_disk_tier_never_moves_anything() {
+        let mut fx = Fixture::new();
+        fx.requests.insert(1, running(1, 300));
+        fx.disk_run.push(1); // impossible in practice, but the policy must still ignore it
+        let cm = cost();
+        let ctx = fx.ctx(&cm);
+        let mut plan = IterationPlan::new(&ctx);
+        plan.form_gpu_first_batches(&ctx);
+        assert!(plan.promote_disk.is_empty());
+        assert!(plan.demote_disk.is_empty());
     }
 
     #[test]

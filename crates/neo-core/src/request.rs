@@ -1,5 +1,6 @@
 //! Inference request state machine.
 
+use neo_kvcache::TokenRun;
 use serde::{Deserialize, Serialize};
 
 /// Lifecycle state of a request inside the engine.
@@ -46,6 +47,10 @@ pub struct Request {
     pub first_token_time: Option<f64>,
     /// Time the request finished, if it has.
     pub finish_time: Option<f64>,
+    /// Prompt token identity as runs, for shared-prefix caching. Empty means the prompt
+    /// is opaque (shares with nothing); when non-empty the run lengths sum to
+    /// `prompt_len`.
+    pub prompt_runs: Vec<TokenRun>,
 }
 
 impl Request {
@@ -68,7 +73,31 @@ impl Request {
             state: RequestState::Waiting,
             first_token_time: None,
             finish_time: None,
+            prompt_runs: Vec::new(),
         }
+    }
+
+    /// Creates a request whose prompt identity is given as token runs (for shared-prefix
+    /// caching). An empty `runs` is equivalent to [`Request::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt_len` or `output_len` is zero, or if non-empty `runs` do not sum
+    /// to `prompt_len`.
+    pub fn with_runs(
+        id: u64,
+        arrival_time: f64,
+        prompt_len: usize,
+        output_len: usize,
+        runs: Vec<TokenRun>,
+    ) -> Self {
+        assert!(
+            runs.is_empty() || runs.iter().map(|r| r.len).sum::<usize>() == prompt_len,
+            "prompt runs must cover the prompt length exactly"
+        );
+        let mut r = Self::new(id, arrival_time, prompt_len, output_len);
+        r.prompt_runs = runs;
+        r
     }
 
     /// Prompt tokens not yet prefilled.
@@ -285,5 +314,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_prompt_panics() {
         let _ = Request::new(1, 0.0, 0, 1);
+    }
+
+    #[test]
+    fn runs_carry_the_prompt_identity() {
+        let runs = vec![TokenRun { id: 7, len: 30 }, TokenRun { id: 9, len: 70 }];
+        let r = Request::with_runs(1, 0.0, 100, 5, runs.clone());
+        assert_eq!(r.prompt_runs, runs);
+        assert_eq!(r.prompt_len, 100);
+        // Empty runs degrade to a plain request.
+        let plain = Request::with_runs(2, 0.0, 100, 5, Vec::new());
+        assert!(plain.prompt_runs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the prompt")]
+    fn mismatched_runs_panic() {
+        let _ = Request::with_runs(1, 0.0, 100, 5, vec![TokenRun { id: 7, len: 99 }]);
     }
 }

@@ -50,10 +50,15 @@ pub struct ScheduleContext<'a> {
     pub gpu_run: &'a [u64],
     /// CPU decoding runqueue.
     pub cpu_run: &'a [u64],
+    /// Disk-resident requests (demoted from the CPU cache). They cannot decode until
+    /// promoted back; always empty unless [`EngineConfig::disk_tier`] is enabled.
+    pub disk_run: &'a [u64],
     /// Free tokens in the GPU KV pool.
     pub gpu_free_tokens: usize,
     /// Free tokens in the CPU KV pool.
     pub cpu_free_tokens: usize,
+    /// Free tokens in the disk KV tier (0 when the tier is disabled).
+    pub disk_free_tokens: usize,
     /// Total size of the GPU KV pool, in tokens. Lets admission distinguish "the GPU
     /// is busy right now" from "this prompt can *never* fit the GPU": a fresh request
     /// whose whole prompt exceeds this must build its KV on the CPU from the first
@@ -165,11 +170,13 @@ impl SchedulerPolicy for NeoScheduler {
         let cost = ctx.cost;
         let cfg = ctx.config;
 
-        // Step 4: CPU-resident candidates (minus swapped-in, plus freshly swapped-out).
+        // Step 4: CPU-resident candidates (minus swapped-in and disk-demoted, plus
+        // freshly swapped-out). A request demoted to disk this iteration has no
+        // CPU-resident KV to decode from.
         let mut cpu_candidates: Vec<(u64, usize)> = ctx
             .cpu_run
             .iter()
-            .filter(|id| !plan.swap_in.contains(id))
+            .filter(|id| !plan.swap_in.contains(id) && !plan.demote_disk.contains(id))
             .map(|&id| (id, ctx.context_len(id)))
             .collect();
         cpu_candidates.extend(plan.swap_out.iter().map(|&id| (id, ctx.context_len(id))));
@@ -256,6 +263,8 @@ impl SchedulerPolicy for NeoScheduler {
             swap_out: asym.swap_out.clone(),
             swap_in: asym.swap_in.clone(),
             preempt: asym.preempt.clone(),
+            demote_disk: asym.demote_disk.clone(),
+            promote_disk: asym.promote_disk.clone(),
         };
         let gpu_est = estimate_gpu_only(
             cost,
@@ -320,6 +329,7 @@ mod tests {
             match device {
                 Device::Gpu => self.gpu_run.push(id),
                 Device::Cpu => self.cpu_run.push(id),
+                Device::Disk => unreachable!("tests place requests on GPU or CPU"),
             }
         }
 
@@ -331,8 +341,10 @@ mod tests {
                 waiting: &self.waiting,
                 gpu_run: &self.gpu_run,
                 cpu_run: &self.cpu_run,
+                disk_run: &[],
                 gpu_free_tokens: self.gpu_free,
                 cpu_free_tokens: self.cpu_free,
+                disk_free_tokens: 0,
                 gpu_capacity_tokens: self.gpu_free,
                 prefill_device: &self.prefill_device,
                 admission_backlog: 0,
@@ -461,8 +473,10 @@ mod tests {
             waiting: &fx.waiting,
             gpu_run: &fx.gpu_run,
             cpu_run: &fx.cpu_run,
+            disk_run: &[],
             gpu_free_tokens: fx.gpu_free,
             cpu_free_tokens: fx.cpu_free,
+            disk_free_tokens: 0,
             gpu_capacity_tokens: fx.gpu_free,
             prefill_device: &fx.prefill_device,
             admission_backlog: 0,

@@ -214,6 +214,70 @@ mod tests {
         assert_eq!(a.num_blocks(), 0);
     }
 
+    #[test]
+    fn exhaustion_error_carries_exact_counts() {
+        let mut a = BlockAllocator::new(Device::Gpu, 3);
+        a.allocate().unwrap();
+        let err = a.allocate_many(5).unwrap_err();
+        assert!(matches!(
+            err,
+            KvCacheError::OutOfMemory {
+                device: Device::Gpu,
+                requested_blocks: 5,
+                available_blocks: 2
+            }
+        ));
+        // Draining the rest makes even a single-block request fail typed, never panic.
+        a.allocate_many(2).unwrap();
+        let err = a.allocate().unwrap_err();
+        assert!(matches!(err, KvCacheError::OutOfMemory { requested_blocks: 1, .. }));
+    }
+
+    #[test]
+    fn allocate_many_zero_succeeds_even_when_exhausted() {
+        let mut a = BlockAllocator::new(Device::Cpu, 1);
+        a.allocate().unwrap();
+        assert_eq!(a.allocate_many(0).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn release_out_of_range_is_a_typed_error() {
+        let mut a = BlockAllocator::new(Device::Gpu, 2);
+        assert!(matches!(
+            a.release(7),
+            Err(KvCacheError::InvalidBlock { block: 7, pool_blocks: 2 })
+        ));
+        assert!(matches!(a.retain(2), Err(KvCacheError::InvalidBlock { block: 2, .. })));
+    }
+
+    #[test]
+    fn retained_blocks_are_never_rehanded_under_exhaustion() {
+        // A fully retained pool must refuse new allocations rather than recycle a
+        // shared block out from under its holders (the mid-eviction hazard).
+        let mut a = BlockAllocator::new(Device::Gpu, 2);
+        let b0 = a.allocate().unwrap();
+        let b1 = a.allocate().unwrap();
+        a.retain(b0).unwrap();
+        // One release each: b0 stays live (shared), b1 frees.
+        assert!(!a.release(b0).unwrap());
+        assert!(a.release(b1).unwrap());
+        let again = a.allocate().unwrap();
+        assert_eq!(again, b1, "only the truly free block is reused");
+        assert!(a.allocate().is_err(), "the shared block is not up for grabs");
+        assert_eq!(a.ref_count(b0).unwrap(), 1);
+    }
+
+    #[test]
+    fn free_list_is_lifo_with_block_zero_first() {
+        let mut a = BlockAllocator::new(Device::Gpu, 3);
+        assert_eq!(a.allocate().unwrap(), 0);
+        assert_eq!(a.allocate().unwrap(), 1);
+        a.release(0).unwrap();
+        // The most recently freed (cache-warm) block comes back first.
+        assert_eq!(a.allocate().unwrap(), 0);
+        assert_eq!(a.allocate().unwrap(), 2);
+    }
+
     proptest! {
         /// Allocations never hand out the same block twice while it is live, and
         /// used + free always equals the capacity.

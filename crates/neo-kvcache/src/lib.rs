@@ -11,8 +11,11 @@
 //! * [`allocator::BlockAllocator`] — a free-list block allocator with reference counting.
 //! * [`blocktable::BlockTable`] — the per-sequence logical-to-physical block mapping.
 //! * [`pool::KvPool`] — one device's pool (capacity accounting + allocator).
-//! * [`manager::KvCacheManager`] — the two-pool manager: sequence allocation, growth,
-//!   release, and GPU↔CPU swaps with byte accounting.
+//! * [`manager::KvCacheManager`] — the multi-tier manager: sequence allocation, growth,
+//!   release, GPU↔CPU (and optional disk-tier) swaps with byte accounting, plus the
+//!   shared-prefix adoption/insertion hooks.
+//! * [`prefix::PrefixIndex`] — a block-granular radix tree over prompt token runs so
+//!   requests sharing a prefix reuse cached KV copy-on-write instead of re-prefilling.
 //! * [`storage::PagedStorage`] — a real `f32` backing store for the functional attention
 //!   kernels in `neo-kernels` (the "PACPU" equivalent), addressed through block tables.
 //! * [`swap::SwapPlan`] — layer-wise swap scheduling used to overlap PCIe transfers with
@@ -39,14 +42,16 @@ pub mod blocktable;
 pub mod error;
 pub mod manager;
 pub mod pool;
+pub mod prefix;
 pub mod storage;
 pub mod swap;
 
 pub use allocator::BlockAllocator;
 pub use blocktable::BlockTable;
 pub use error::KvCacheError;
-pub use manager::{KvCacheConfig, KvCacheManager, RankOccupancy};
+pub use manager::{KvCacheConfig, KvCacheManager, PrefixAdoption, RankOccupancy};
 pub use pool::{Device, KvPool};
+pub use prefix::{expand, PrefixHit, PrefixIndex, Token, TokenRun};
 pub use storage::PagedStorage;
 pub use swap::SwapPlan;
 

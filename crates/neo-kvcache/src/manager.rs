@@ -1,15 +1,27 @@
-//! Two-pool (GPU-cache + CPU-cache) sequence-level manager.
+//! Multi-tier (GPU-cache + CPU-cache + disk) sequence-level manager.
 //!
 //! This is the accounting heart of NEO's partial offloading: every prefilled sequence owns
 //! a block table on exactly one device, the scheduler asks "can I fit these new tokens on
 //! the GPU?" / "how many tokens must I swap out?", and swaps move a whole sequence between
 //! pools while reporting the bytes that crossed PCIe (so the cost model can charge for it).
+//!
+//! Two optional features extend the two-tier core:
+//!
+//! * a **shared-prefix cache** ([`crate::prefix::PrefixIndex`]): prompt blocks of
+//!   prefilled GPU sequences are indexed by token identity, later requests *adopt* the
+//!   cached prefix (refcount bump, copy-on-write for partial tail blocks) and skip
+//!   re-prefilling it. Index-only blocks (refcount 1) are *evictable*: they are counted
+//!   as free capacity and reclaimed LRU-first the moment a real allocation needs room,
+//!   so with zero sharing the cache is accounting-invisible.
+//! * a **disk tier** ([`Device::Disk`]): a third pool sequences can be demoted to when
+//!   the CPU cache fills; parked sequences cannot decode until promoted back.
 
 use std::collections::HashMap;
 
 use crate::blocktable::BlockTable;
 use crate::error::KvCacheError;
 use crate::pool::{Device, KvPool};
+use crate::prefix::{PrefixIndex, Token};
 
 /// Configuration of the two KV pools.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +70,16 @@ pub struct RankOccupancy {
     pub capacity_bytes: u64,
 }
 
+/// What a prefix adoption reused: tokens served from cache and copy-on-write splits
+/// performed (at most one — the partially matching tail block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixAdoption {
+    /// Prompt tokens covered by cached KV (the sequence skips prefilling them).
+    pub cached_tokens: usize,
+    /// Copy-on-write block splits performed for a partially matching tail block.
+    pub cow_splits: usize,
+}
+
 /// Per-sequence record kept by the manager.
 #[derive(Debug, Clone)]
 struct SeqEntry {
@@ -65,25 +87,48 @@ struct SeqEntry {
     table: BlockTable,
 }
 
-/// The GPU + CPU paged KV cache manager.
+/// The GPU + CPU (+ optional disk) paged KV cache manager.
 #[derive(Debug, Clone)]
 pub struct KvCacheManager {
     config: KvCacheConfig,
     gpu: KvPool,
     cpu: KvPool,
+    disk: KvPool,
+    prefix: Option<PrefixIndex>,
+    prefix_hit_tokens: usize,
+    cow_splits: usize,
     seqs: HashMap<u64, SeqEntry>,
 }
 
 impl KvCacheManager {
-    /// Creates a manager with the given pool configuration.
+    /// Creates a manager with the given pool configuration (no prefix cache, no disk
+    /// tier — the historical two-tier behaviour).
     ///
     /// # Panics
     ///
     /// Panics if `block_size` is zero (propagated from [`KvPool::new`]).
     pub fn new(config: KvCacheConfig) -> Self {
+        Self::with_features(config, false, 0)
+    }
+
+    /// Creates a manager with the optional shared-prefix cache and a disk tier of
+    /// `disk_capacity_tokens` (0 disables the tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero (propagated from [`KvPool::new`]).
+    pub fn with_features(
+        config: KvCacheConfig,
+        prefix_cache: bool,
+        disk_capacity_tokens: usize,
+    ) -> Self {
         Self {
             gpu: KvPool::new(Device::Gpu, config.gpu_capacity_tokens, config.block_size),
             cpu: KvPool::new(Device::Cpu, config.cpu_capacity_tokens, config.block_size),
+            disk: KvPool::new(Device::Disk, disk_capacity_tokens, config.block_size),
+            prefix: if prefix_cache { Some(PrefixIndex::new(config.block_size)) } else { None },
+            prefix_hit_tokens: 0,
+            cow_splits: 0,
             config,
             seqs: HashMap::new(),
         }
@@ -99,6 +144,7 @@ impl KvCacheManager {
         match device {
             Device::Gpu => &self.gpu,
             Device::Cpu => &self.cpu,
+            Device::Disk => &self.disk,
         }
     }
 
@@ -106,7 +152,35 @@ impl KvCacheManager {
         match device {
             Device::Gpu => &mut self.gpu,
             Device::Cpu => &mut self.cpu,
+            Device::Disk => &mut self.disk,
         }
+    }
+
+    /// Whether the shared-prefix cache is enabled.
+    pub fn prefix_enabled(&self) -> bool {
+        self.prefix.is_some()
+    }
+
+    /// Cumulative prompt tokens served from the prefix cache.
+    pub fn prefix_hit_tokens(&self) -> usize {
+        self.prefix_hit_tokens
+    }
+
+    /// Cumulative copy-on-write block splits performed for partial prefix hits.
+    pub fn cow_splits(&self) -> usize {
+        self.cow_splits
+    }
+
+    /// Blocks currently held by the prefix index (empty when the cache is disabled).
+    pub fn prefix_blocks(&self) -> Vec<usize> {
+        self.prefix.as_ref().map(|p| p.blocks()).unwrap_or_default()
+    }
+
+    /// Ids of all tracked sequences, in ascending order.
+    pub fn sequence_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.seqs.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Number of sequences currently tracked.
@@ -144,14 +218,63 @@ impl KvCacheManager {
         self.seqs.get(&seq_id).map(|e| &e.table).ok_or(KvCacheError::UnknownSequence(seq_id))
     }
 
-    /// Free token capacity of a device's pool.
-    pub fn free_tokens(&self, device: Device) -> usize {
-        self.pool(device).free_tokens()
+    /// GPU blocks held only by the prefix index (refcount 1): reclaimable on demand, so
+    /// they count as free capacity everywhere the scheduler looks.
+    fn evictable_gpu_blocks(&self) -> usize {
+        match &self.prefix {
+            Some(p) => {
+                p.blocks().into_iter().filter(|&b| matches!(self.gpu.ref_count(b), Ok(1))).count()
+            }
+            None => 0,
+        }
     }
 
-    /// Whether `n_tokens` new tokens can be placed on `device` right now.
+    /// Tokens' worth of GPU blocks held only by the prefix index (evictable on demand).
+    pub fn evictable_tokens(&self) -> usize {
+        self.evictable_gpu_blocks() * self.config.block_size
+    }
+
+    /// Evicts index-only blocks (LRU leaves first) until at least `n_blocks` GPU blocks
+    /// are free or nothing evictable remains.
+    fn ensure_gpu_free(&mut self, n_blocks: usize) {
+        let bs = self.config.block_size;
+        loop {
+            if self.gpu.free_tokens() / bs >= n_blocks {
+                return;
+            }
+            let evicted = {
+                let gpu = &self.gpu;
+                match self.prefix.as_mut() {
+                    Some(prefix) => prefix.evict_lru(|b| matches!(gpu.ref_count(b), Ok(1))),
+                    None => None,
+                }
+            };
+            match evicted {
+                Some(block) => {
+                    self.gpu.release_blocks(&[block]).expect("evicted block is singly referenced")
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Free token capacity of a device's pool. For the GPU this includes blocks held
+    /// only by the prefix index — they are evicted transparently when space is needed.
+    pub fn free_tokens(&self, device: Device) -> usize {
+        let base = self.pool(device).free_tokens();
+        if device == Device::Gpu {
+            base + self.evictable_tokens()
+        } else {
+            base
+        }
+    }
+
+    /// Whether `n_tokens` new tokens can be placed on `device` right now (counting
+    /// evictable prefix-index blocks as free on the GPU).
     pub fn can_allocate(&self, device: Device, n_tokens: usize) -> bool {
-        self.pool(device).can_allocate(n_tokens)
+        let needed = self.pool(device).blocks_for(n_tokens);
+        let free_blocks = self.free_tokens(device) / self.config.block_size;
+        needed <= free_blocks
     }
 
     /// Allocates a new sequence of `n_tokens` tokens (its prefill KV) on `device`.
@@ -170,6 +293,9 @@ impl KvCacheManager {
             return Err(KvCacheError::DuplicateSequence(seq_id));
         }
         let block_size = self.config.block_size;
+        if device == Device::Gpu {
+            self.ensure_gpu_free(n_tokens.div_ceil(block_size));
+        }
         let blocks = self.pool_mut(device).allocate_tokens(n_tokens)?;
         let mut table = BlockTable::new(block_size);
         table.append(n_tokens, blocks).expect("block count from allocate_tokens matches");
@@ -187,6 +313,9 @@ impl KvCacheManager {
         let entry = self.seqs.get(&seq_id).ok_or(KvCacheError::UnknownSequence(seq_id))?;
         let device = entry.device;
         let needed = entry.table.blocks_needed_for_append(n_tokens);
+        if device == Device::Gpu {
+            self.ensure_gpu_free(needed);
+        }
         let blocks = self.pool_mut(device).allocate_blocks(needed)?;
         let entry = self.seqs.get_mut(&seq_id).expect("checked above");
         entry.table.append(n_tokens, blocks).expect("block count matches");
@@ -221,6 +350,9 @@ impl KvCacheManager {
         }
         let tokens = entry.table.num_tokens();
         // Reserve space on the destination first so failure leaves the source intact.
+        if to == Device::Gpu {
+            self.ensure_gpu_free(tokens.div_ceil(self.config.block_size));
+        }
         let new_blocks = self.pool_mut(to).allocate_tokens(tokens)?;
         let entry = self.seqs.get_mut(&seq_id).expect("checked above");
         let from = entry.device;
@@ -234,6 +366,98 @@ impl KvCacheManager {
             bytes: tokens as u64 * self.config.kv_bytes_per_token as u64,
             to,
         })
+    }
+
+    /// Tries to serve the head of a new sequence's prompt from the prefix cache.
+    ///
+    /// `tokens` is the prompt's token identity (see [`crate::prefix::expand`]) and
+    /// `max_tokens` caps how much may be adopted (callers pass `prompt_len - 1` so at
+    /// least one token is always prefilled and the first output token is produced
+    /// normally). On a hit the sequence is created on the GPU holding the shared blocks
+    /// (refcounts bumped); a partially matching tail block is reused copy-on-write into
+    /// one fresh private block. With `cached_tokens == 0` no sequence is created — the
+    /// caller proceeds exactly as without a cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::DuplicateSequence`] if the id is already tracked.
+    pub fn adopt_prefix(
+        &mut self,
+        seq_id: u64,
+        tokens: &[Token],
+        max_tokens: usize,
+    ) -> Result<PrefixAdoption, KvCacheError> {
+        if self.seqs.contains_key(&seq_id) {
+            return Err(KvCacheError::DuplicateSequence(seq_id));
+        }
+        let bs = self.config.block_size;
+        let hit = match self.prefix.as_mut() {
+            Some(prefix) => prefix.lookup(tokens),
+            None => return Ok(PrefixAdoption::default()),
+        };
+        let full_take = hit.blocks.len().min(max_tokens / bs);
+        let leftover = max_tokens - full_take * bs;
+        let mut partial_len = if leftover == 0 {
+            0
+        } else if full_take < hit.blocks.len() {
+            // The cap cut into the full chain: reuse the next full block partially.
+            leftover.min(bs)
+        } else {
+            hit.partial.map(|(_, len)| len.min(leftover)).unwrap_or(0)
+        };
+        let mut cow_blocks = Vec::new();
+        if partial_len > 0 {
+            self.ensure_gpu_free(1);
+            match self.gpu.allocate_blocks(1) {
+                Ok(b) => cow_blocks = b,
+                Err(_) => partial_len = 0, // no room for the COW copy: drop the tail hit
+            }
+        }
+        let cached = full_take * bs + partial_len;
+        if cached == 0 {
+            return Ok(PrefixAdoption::default());
+        }
+        let shared = hit.blocks[..full_take].to_vec();
+        for &b in &shared {
+            self.gpu.retain(b).expect("indexed block is allocated");
+        }
+        let mut table = BlockTable::new(bs);
+        table.append(full_take * bs, shared).expect("one shared block per full chunk");
+        if partial_len > 0 {
+            table.append(partial_len, cow_blocks).expect("one COW block for the tail");
+        }
+        self.seqs.insert(seq_id, SeqEntry { device: Device::Gpu, table });
+        let splits = usize::from(partial_len > 0);
+        self.prefix_hit_tokens += cached;
+        self.cow_splits += splits;
+        Ok(PrefixAdoption { cached_tokens: cached, cow_splits: splits })
+    }
+
+    /// Registers a prefilled GPU sequence's prompt blocks in the prefix cache so later
+    /// requests can adopt them. `tokens` is the *prompt* token identity; only the first
+    /// `min(tokens.len(), cached len)` tokens are indexed. No-op when the cache is
+    /// disabled or the sequence lives off-GPU. Safe to call repeatedly: identical
+    /// content is deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownSequence`] if the id is not tracked.
+    pub fn insert_prefix(&mut self, seq_id: u64, tokens: &[Token]) -> Result<(), KvCacheError> {
+        let entry = self.seqs.get(&seq_id).ok_or(KvCacheError::UnknownSequence(seq_id))?;
+        if entry.device != Device::Gpu {
+            return Ok(());
+        }
+        let n = tokens.len().min(entry.table.num_tokens());
+        let blocks: Vec<usize> = entry.table.blocks().to_vec();
+        let Some(prefix) = self.prefix.as_mut() else { return Ok(()) };
+        let outcome = prefix.insert(&tokens[..n], &blocks);
+        for &b in &outcome.retained {
+            self.gpu.retain(b).expect("table block is allocated");
+        }
+        for &b in &outcome.released {
+            self.gpu.release_blocks(&[b]).expect("pruned block held an index reference");
+        }
+        Ok(())
     }
 
     /// Ids of all sequences currently resident on `device`, in ascending order.
@@ -258,28 +482,30 @@ impl KvCacheManager {
         assert!(tp >= 1, "tensor-parallel degree must be at least 1");
         let pool = self.pool(Device::Gpu);
         let shard_bytes_per_token = self.config.kv_bytes_per_token as u64 / tp as u64;
+        // Index-only blocks are reclaimable on demand, so ranks report them as free.
+        let evictable = self.evictable_tokens();
+        let used = pool.used_tokens() - evictable;
+        let free = pool.free_tokens() + evictable;
         (0..tp)
             .map(|rank| RankOccupancy {
                 rank,
-                used_tokens: pool.used_tokens(),
-                free_tokens: pool.free_tokens(),
-                used_bytes: pool.used_tokens() as u64 * shard_bytes_per_token,
+                used_tokens: used,
+                free_tokens: free,
+                used_bytes: used as u64 * shard_bytes_per_token,
                 capacity_bytes: pool.capacity_tokens() as u64 * shard_bytes_per_token,
             })
             .collect()
     }
 
     /// Total cached tokens per device `(gpu_tokens, cpu_tokens)`, counting logical tokens.
+    /// Disk-resident sequences are excluded; see [`Self::cached_tokens_on`].
     pub fn cached_tokens(&self) -> (usize, usize) {
-        let mut gpu = 0;
-        let mut cpu = 0;
-        for e in self.seqs.values() {
-            match e.device {
-                Device::Gpu => gpu += e.table.num_tokens(),
-                Device::Cpu => cpu += e.table.num_tokens(),
-            }
-        }
-        (gpu, cpu)
+        (self.cached_tokens_on(Device::Gpu), self.cached_tokens_on(Device::Cpu))
+    }
+
+    /// Total logical tokens of sequences resident on `device`.
+    pub fn cached_tokens_on(&self, device: Device) -> usize {
+        self.seqs.values().filter(|e| e.device == device).map(|e| e.table.num_tokens()).sum()
     }
 }
 
@@ -408,6 +634,141 @@ mod tests {
     fn append_to_unknown_sequence_fails() {
         let mut m = mgr(64, 64);
         assert!(matches!(m.append_tokens(42, 1), Err(KvCacheError::UnknownSequence(42))));
+    }
+
+    fn pmgr(gpu: usize, cpu: usize) -> KvCacheManager {
+        KvCacheManager::with_features(
+            KvCacheConfig {
+                block_size: 16,
+                gpu_capacity_tokens: gpu,
+                cpu_capacity_tokens: cpu,
+                kv_bytes_per_token: 1024,
+            },
+            true,
+            0,
+        )
+    }
+
+    fn prompt(id: u64, len: usize) -> Vec<Token> {
+        crate::prefix::expand(&[crate::prefix::TokenRun { id, len }])
+    }
+
+    #[test]
+    fn adopting_a_cached_prefix_shares_blocks_copy_on_write() {
+        let mut m = pmgr(320, 320);
+        let toks = prompt(7, 100);
+        m.allocate_sequence(1, 100, Device::Gpu).unwrap();
+        m.insert_prefix(1, &toks).unwrap();
+        // 100 tokens = 6 full blocks (96) + a 4-token tail. Capped at 99, the adopter
+        // shares the 6 full blocks and COW-copies 3 tokens of the tail.
+        let a = m.adopt_prefix(2, &toks, 99).unwrap();
+        assert_eq!(a, PrefixAdoption { cached_tokens: 99, cow_splits: 1 });
+        assert_eq!(m.num_tokens_of(2).unwrap(), 99);
+        assert_eq!(m.device_of(2).unwrap(), Device::Gpu);
+        // The shared full blocks are the same physical blocks, three ways referenced
+        // (owner + adopter + index); the COW tail is private.
+        let t1: Vec<usize> = m.block_table(1).unwrap().blocks().to_vec();
+        let t2: Vec<usize> = m.block_table(2).unwrap().blocks().to_vec();
+        assert_eq!(&t1[..6], &t2[..6]);
+        assert_ne!(t1[6], t2[6]);
+        for &b in &t1[..6] {
+            assert_eq!(m.pool(Device::Gpu).ref_count(b).unwrap(), 3);
+        }
+        assert_eq!(m.pool(Device::Gpu).ref_count(t2[6]).unwrap(), 1);
+        assert_eq!(m.prefix_hit_tokens(), 99);
+        assert_eq!(m.cow_splits(), 1);
+        // Freeing both sequences leaves only index references; everything is evictable
+        // and thus reported free, but physically still cached.
+        m.free_sequence(1).unwrap();
+        m.free_sequence(2).unwrap();
+        assert_eq!(m.evictable_tokens(), 7 * 16);
+        assert_eq!(m.free_tokens(Device::Gpu), 320);
+        assert!(m.pool(Device::Gpu).used_tokens() > 0);
+    }
+
+    #[test]
+    fn adoption_with_no_hit_creates_nothing() {
+        let mut m = pmgr(320, 320);
+        let a = m.adopt_prefix(9, &prompt(1, 50), 49).unwrap();
+        assert_eq!(a, PrefixAdoption::default());
+        assert!(m.device_of(9).is_err());
+        assert_eq!(m.num_sequences(), 0);
+        // Duplicate ids are still rejected.
+        m.allocate_sequence(9, 10, Device::Gpu).unwrap();
+        assert!(matches!(
+            m.adopt_prefix(9, &prompt(1, 50), 49),
+            Err(KvCacheError::DuplicateSequence(9))
+        ));
+    }
+
+    #[test]
+    fn allocation_pressure_evicts_index_only_blocks_transparently() {
+        let mut m = pmgr(64, 320); // 4 GPU blocks
+        let toks = prompt(1, 64);
+        m.allocate_sequence(1, 64, Device::Gpu).unwrap();
+        m.insert_prefix(1, &toks).unwrap();
+        // Swapping the owner out leaves the whole chain index-only on the GPU.
+        m.swap(1, Device::Cpu).unwrap();
+        assert_eq!(m.pool(Device::Gpu).free_tokens(), 0);
+        assert_eq!(m.evictable_tokens(), 64);
+        assert_eq!(m.free_tokens(Device::Gpu), 64);
+        assert!(m.can_allocate(Device::Gpu, 64));
+        // A new allocation evicts just enough cached blocks (leaf-first).
+        m.allocate_sequence(2, 40, Device::Gpu).unwrap();
+        assert_eq!(m.evictable_tokens(), 16, "one cached block survives");
+        assert_eq!(m.free_tokens(Device::Gpu), 16);
+        // Swapping seq 1 back needs 4 blocks; even after evicting the last cached
+        // block only 1 is free, so the swap fails typed and the source is intact.
+        let err = m.swap(1, Device::Gpu).unwrap_err();
+        assert!(matches!(err, KvCacheError::OutOfMemory { device: Device::Gpu, .. }));
+        assert_eq!(m.device_of(1).unwrap(), Device::Cpu);
+        assert_eq!(m.num_tokens_of(1).unwrap(), 64);
+        assert_eq!(m.evictable_tokens(), 0, "the failed swap still reclaimed the cache");
+    }
+
+    #[test]
+    fn disk_tier_swaps_round_trip_and_respect_capacity() {
+        let cfg = KvCacheConfig {
+            block_size: 16,
+            gpu_capacity_tokens: 256,
+            cpu_capacity_tokens: 320,
+            kv_bytes_per_token: 1024,
+        };
+        let mut m = KvCacheManager::with_features(cfg, false, 64);
+        m.allocate_sequence(1, 50, Device::Gpu).unwrap();
+        m.swap(1, Device::Cpu).unwrap();
+        let stats = m.swap(1, Device::Disk).unwrap();
+        assert_eq!((stats.tokens, stats.to), (50, Device::Disk));
+        assert_eq!(stats.bytes, 50 * 1024);
+        assert_eq!(m.sequences_on(Device::Disk), vec![1]);
+        assert_eq!(m.cached_tokens(), (0, 0), "disk tokens are not GPU/CPU cached");
+        assert_eq!(m.cached_tokens_on(Device::Disk), 50);
+        // Promotion back to the CPU cache.
+        m.swap(1, Device::Cpu).unwrap();
+        assert_eq!(m.device_of(1).unwrap(), Device::Cpu);
+        assert_eq!(m.pool(Device::Disk).used_tokens(), 0);
+        // A sequence bigger than the disk tier is refused, source intact.
+        m.allocate_sequence(2, 100, Device::Cpu).unwrap();
+        let err = m.swap(2, Device::Disk).unwrap_err();
+        assert!(matches!(err, KvCacheError::OutOfMemory { device: Device::Disk, .. }));
+        assert_eq!(m.device_of(2).unwrap(), Device::Cpu);
+    }
+
+    #[test]
+    fn default_manager_has_no_disk_and_no_prefix_cache() {
+        let mut m = mgr(256, 256);
+        assert!(!m.prefix_enabled());
+        assert_eq!(m.pool(Device::Disk).capacity_tokens(), 0);
+        m.allocate_sequence(1, 10, Device::Cpu).unwrap();
+        assert!(matches!(
+            m.swap(1, Device::Disk),
+            Err(KvCacheError::OutOfMemory { device: Device::Disk, .. })
+        ));
+        // insert/adopt degrade to no-ops.
+        m.insert_prefix(1, &prompt(1, 10)).unwrap();
+        let a = m.adopt_prefix(2, &prompt(1, 10), 9).unwrap();
+        assert_eq!(a, PrefixAdoption::default());
+        assert_eq!(m.prefix_blocks(), Vec::<usize>::new());
     }
 
     proptest! {

@@ -10,14 +10,19 @@ pub enum Device {
     Gpu,
     /// Host DRAM — the "CPU-cache" of the paper.
     Cpu,
+    /// Local NVMe/disk — cold third tier; sequences parked here cannot decode until
+    /// promoted back to the CPU cache.
+    Disk,
 }
 
 impl Device {
-    /// The other device.
+    /// The device one tier up or down: GPU↔CPU keep their historical pairing; disk's
+    /// neighbour is the CPU cache (promotion target).
     pub fn other(self) -> Device {
         match self {
             Device::Gpu => Device::Cpu,
             Device::Cpu => Device::Gpu,
+            Device::Disk => Device::Cpu,
         }
     }
 }
@@ -27,6 +32,7 @@ impl std::fmt::Display for Device {
         match self {
             Device::Gpu => write!(f, "GPU"),
             Device::Cpu => write!(f, "CPU"),
+            Device::Disk => write!(f, "DISK"),
         }
     }
 }
@@ -125,6 +131,24 @@ impl KvPool {
         Ok(())
     }
 
+    /// Adds one reference to an allocated block (shared-prefix adoption).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::InvalidBlock`] on out-of-range indices or free blocks.
+    pub fn retain(&mut self, block: usize) -> Result<(), KvCacheError> {
+        self.allocator.retain(block)
+    }
+
+    /// Current reference count of a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::InvalidBlock`] on out-of-range indices.
+    pub fn ref_count(&self, block: usize) -> Result<u32, KvCacheError> {
+        self.allocator.ref_count(block)
+    }
+
     /// Fraction of the pool currently in use, in `[0, 1]`.
     pub fn utilization(&self) -> f64 {
         if self.capacity_tokens == 0 {
@@ -193,7 +217,24 @@ mod tests {
     fn device_other_flips() {
         assert_eq!(Device::Gpu.other(), Device::Cpu);
         assert_eq!(Device::Cpu.other(), Device::Gpu);
+        assert_eq!(Device::Disk.other(), Device::Cpu);
         assert_eq!(Device::Gpu.to_string(), "GPU");
+        assert_eq!(Device::Disk.to_string(), "DISK");
+    }
+
+    #[test]
+    fn retain_and_ref_count_delegate_to_the_allocator() {
+        let mut p = KvPool::new(Device::Gpu, 64, 16);
+        let b = p.allocate_tokens(16).unwrap();
+        assert_eq!(p.ref_count(b[0]).unwrap(), 1);
+        p.retain(b[0]).unwrap();
+        assert_eq!(p.ref_count(b[0]).unwrap(), 2);
+        // First release drops the extra reference, the block stays allocated.
+        p.release_blocks(&b).unwrap();
+        assert_eq!(p.used_tokens(), 16);
+        p.release_blocks(&b).unwrap();
+        assert_eq!(p.used_tokens(), 0);
+        assert!(p.retain(b[0]).is_err(), "retaining a free block is a typed error");
     }
 
     #[test]

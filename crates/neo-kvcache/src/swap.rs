@@ -144,6 +144,43 @@ mod tests {
         assert_eq!(SwapPlan::layerwise_exposed_time(0, 1.0, 1.0), 0.0);
     }
 
+    #[test]
+    fn empty_plan_moves_nothing_in_either_direction() {
+        let p = SwapPlan::default();
+        assert!(p.is_empty());
+        assert_eq!(p.tokens(SwapDirection::Out), 0);
+        assert_eq!(p.tokens(SwapDirection::In), 0);
+        assert!(p.ops().is_empty());
+    }
+
+    #[test]
+    fn single_layer_pipeline_is_compute_plus_transfer() {
+        let total = SwapPlan::layerwise_pipeline_time(1, 3e-4, 7e-4);
+        assert!((total - 1e-3).abs() < 1e-12);
+        // With one layer nothing can be hidden: exposed == transfer.
+        let exposed = SwapPlan::layerwise_exposed_time(1, 3e-4, 7e-4);
+        assert!((exposed - 7e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_compute_exposes_the_entire_transfer() {
+        // Under memory pressure an evicted (zero-compute) sequence's swap has no
+        // compute to hide behind — the full deferred cost is on the critical path.
+        let exposed = SwapPlan::layerwise_exposed_time(32, 0.0, 1e-4);
+        let deferred = SwapPlan::deferred_exposed_time(32, 1e-4);
+        assert!((exposed - deferred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exposed_time_is_monotone_in_transfer_cost() {
+        let mut last = 0.0;
+        for t in [1e-6, 1e-5, 1e-4, 1e-3] {
+            let e = SwapPlan::layerwise_exposed_time(32, 1e-4, t);
+            assert!(e >= last, "exposed time must grow with transfer cost");
+            last = e;
+        }
+    }
+
     proptest! {
         /// The pipeline formula is bounded below by both pure-compute and pure-transfer
         /// time and above by their sum, and exposed time is non-negative.

@@ -118,12 +118,15 @@ impl PagedKvCache {
     ///
     /// # Panics
     ///
-    /// Panics if `layer` is out of range.
+    /// Panics if `layer` is out of range, or if `device` is the disk tier — the
+    /// functional cache materialises GPU and CPU storage only (the disk tier exists in
+    /// the simulation's accounting, not in the numeric kernels).
     pub fn storage(&self, layer: usize, device: Device) -> &PagedStorage {
         assert!(layer < self.n_layers, "layer {layer} out of range");
         match device {
             Device::Gpu => &self.gpu_layers[layer],
             Device::Cpu => &self.cpu_layers[layer],
+            Device::Disk => panic!("the functional cache holds no disk storage"),
         }
     }
 
@@ -150,6 +153,7 @@ impl PagedKvCache {
         let storage = match device {
             Device::Gpu => &mut self.gpu_layers[layer],
             Device::Cpu => &mut self.cpu_layers[layer],
+            Device::Disk => panic!("the functional cache holds no disk storage"),
         };
         storage.write_token(block, slot, k, v)
     }

@@ -42,7 +42,7 @@ pub mod server;
 
 pub use metrics::{Cdf, LatencySummary};
 pub use offline::{run_offline, OfflineResult};
-pub use online::{run_online, OnlineResult};
+pub use online::{run_online, run_sessions, OnlineResult, SessionsResult};
 pub use server::{
     DropReason, RequestHandle, RequestStatus, Server, ServerReport, TokenCallback, TokenEvent,
 };

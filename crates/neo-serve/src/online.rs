@@ -5,7 +5,7 @@
 //! tokens exactly as it would for live clients.
 
 use neo_core::Engine;
-use neo_workload::Trace;
+use neo_workload::{SessionTrace, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{Cdf, LatencySummary};
@@ -69,13 +69,71 @@ pub fn run_online(
     max_iterations: u64,
 ) -> OnlineResult {
     assert!(!trace.is_empty(), "cannot serve an empty trace");
-    let scheduler = engine.scheduler_name().to_string();
     let total = trace.len();
-
     let mut server = Server::new(engine).with_max_iterations(max_iterations);
     for event in trace.events() {
         server.submit(event.time, event.prompt_len, event.output_len).unwrap();
     }
+    drain_and_summarise(&mut server, total, request_rate)
+}
+
+/// Result of one session-workload serving run: the usual online metrics plus the
+/// prefix-cache counters that only session workloads exercise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionsResult {
+    /// The latency/throughput metrics, identical in meaning to [`run_online`]'s.
+    pub online: OnlineResult,
+    /// Prompt tokens served from cached KV instead of being prefilled.
+    pub prefix_hit_tokens: usize,
+    /// Total prompt tokens submitted; `prefix_hit_tokens / prompt_tokens` is the
+    /// measured hit rate.
+    pub prompt_tokens: usize,
+    /// Copy-on-write block splits performed for partial tail-block hits.
+    pub cow_splits: usize,
+}
+
+impl SessionsResult {
+    /// Fraction of submitted prompt tokens served from the prefix cache.
+    pub fn hit_rate(&self) -> f64 {
+        self.prefix_hit_tokens as f64 / self.prompt_tokens.max(1) as f64
+    }
+}
+
+/// Runs the engine over a [`SessionTrace`] — requests whose prompts carry identity as
+/// token runs — and collects the same metrics as [`run_online`], plus prefix-cache
+/// counters. With a prefix-caching engine, turns of the same session (and sessions
+/// sharing a system prompt) reuse KV cached by earlier requests; with caching disabled
+/// the identities are inert and the run is byte-for-byte a [`run_online`] of the
+/// flattened trace.
+///
+/// # Panics
+///
+/// Panics if the trace is empty or the run exceeds `max_iterations` without finishing.
+pub fn run_sessions(
+    engine: Engine,
+    trace: &SessionTrace,
+    request_rate: f64,
+    max_iterations: u64,
+) -> SessionsResult {
+    assert!(!trace.is_empty(), "cannot serve an empty trace");
+    let total = trace.len();
+    let prompt_tokens = trace.requests().iter().map(|r| r.prompt_len()).sum();
+    let mut server = Server::new(engine).with_max_iterations(max_iterations);
+    for request in trace.requests() {
+        server.submit_with_runs(request.arrival, request.runs.clone(), request.output_len).unwrap();
+    }
+    let online = drain_and_summarise(&mut server, total, request_rate);
+    SessionsResult {
+        online,
+        prefix_hit_tokens: server.engine().prefix_hit_tokens(),
+        prompt_tokens,
+        cow_splits: server.engine().cow_splits(),
+    }
+}
+
+/// Drains the server and assembles the shared [`OnlineResult`] metrics.
+fn drain_and_summarise(server: &mut Server, total: usize, request_rate: f64) -> OnlineResult {
+    let scheduler = server.engine().scheduler_name().to_string();
     let report = server.run_until_idle();
 
     let completed = server.engine().completed();
@@ -191,5 +249,60 @@ mod tests {
     #[should_panic(expected = "empty trace")]
     fn empty_trace_panics() {
         let _ = run_online(engine(false), &Trace::default(), 1.0, 1000);
+    }
+
+    fn caching_engine(prefix_cache: bool) -> Engine {
+        let cost = CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1);
+        let config = EngineConfig { prefix_cache, ..EngineConfig::default() };
+        Engine::new(cost, config, Box::new(NeoScheduler::new()))
+    }
+
+    fn chat_trace() -> neo_workload::SessionTrace {
+        neo_workload::multi_turn_chat(
+            &neo_workload::ChatConfig {
+                sessions: 8,
+                turns: 3,
+                system_len: 512,
+                user_len: 64,
+                output_len: 32,
+                shared_system_prob: 1.0,
+                session_rate: 1.0,
+                turn_gap: 4.0,
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn sessions_reuse_prefixes_when_caching_is_on() {
+        let trace = chat_trace();
+        let cached = run_sessions(caching_engine(true), &trace, 1.0, 2_000_000);
+        assert_eq!(cached.online.completed, trace.len());
+        // Later turns re-send their session history and all sessions share a system
+        // prompt, so the cache must have served a substantial number of prompt tokens.
+        assert!(cached.prefix_hit_tokens > 0, "chat turns must hit the cache");
+        assert!(cached.hit_rate() > 0.2, "hit rate {}", cached.hit_rate());
+        assert!(cached.hit_rate() < 1.0, "new user messages are never cached");
+        let plain = run_sessions(caching_engine(false), &trace, 1.0, 2_000_000);
+        assert_eq!(plain.prefix_hit_tokens, 0);
+        assert_eq!(plain.online.completed, trace.len());
+        assert!(
+            cached.online.ttft.mean <= plain.online.ttft.mean,
+            "prefix caching must not slow first tokens: {} vs {}",
+            cached.online.ttft.mean,
+            plain.online.ttft.mean
+        );
+    }
+
+    #[test]
+    fn sessions_without_caching_match_the_flat_trace_exactly() {
+        // With the prefix cache off, run identities are inert: serving the session
+        // trace is the same run as serving its flattened length-only trace.
+        let trace = chat_trace();
+        let with_runs = run_sessions(caching_engine(false), &trace, 1.0, 2_000_000);
+        let flat = run_online(caching_engine(false), &trace.to_trace(), 1.0, 2_000_000);
+        assert_eq!(with_runs.online.per_token_samples, flat.per_token_samples);
+        assert_eq!(with_runs.online.makespan, flat.makespan);
+        assert_eq!(with_runs.online.decode_throughput, flat.decode_throughput);
     }
 }

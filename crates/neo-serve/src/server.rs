@@ -27,6 +27,7 @@ use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use neo_core::request::{Request, RequestState};
 use neo_core::{AdmitError, Engine, IterationReport};
+use neo_kvcache::TokenRun;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::LatencySummary;
@@ -197,6 +198,8 @@ struct Session {
     arrival: f64,
     prompt_len: usize,
     output_len: usize,
+    /// Prompt identity as token runs (empty = opaque prompt, no prefix sharing).
+    runs: Vec<TokenRun>,
     state: SessionState,
     callback: Option<TokenCallback>,
     /// Emission time of each streamed token (drives TTFT/ITL metrics).
@@ -428,7 +431,30 @@ impl Server {
         prompt_len: usize,
         output_len: usize,
     ) -> Result<RequestHandle, AdmitError> {
-        self.submit_streaming(arrival, prompt_len, output_len, None)
+        self.submit_streaming(arrival, prompt_len, output_len, Vec::new(), None)
+    }
+
+    /// Submits a request whose prompt carries identity as [`TokenRun`]s, so a
+    /// prefix-caching engine can reuse KV cached from earlier requests that share a
+    /// leading run sequence (a fleet-wide system prompt, the history of a chat
+    /// session). With prefix caching disabled the runs are ignored; the request
+    /// behaves exactly like a [`Server::submit`] of the same lengths.
+    ///
+    /// See [`Server::submit`] for the errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty, a run is empty, or `arrival`/`output_len` are
+    /// invalid (see [`Server::submit`]).
+    pub fn submit_with_runs(
+        &mut self,
+        arrival: f64,
+        runs: Vec<TokenRun>,
+        output_len: usize,
+    ) -> Result<RequestHandle, AdmitError> {
+        assert!(!runs.is_empty(), "prompt runs must be non-empty");
+        let prompt_len = runs.iter().map(|r| r.len).sum();
+        self.submit_streaming(arrival, prompt_len, output_len, runs, None)
     }
 
     /// Submits a request with a streaming callback invoked once per output token, in
@@ -443,7 +469,7 @@ impl Server {
     where
         F: FnMut(&TokenEvent) + 'static,
     {
-        self.submit_streaming(arrival, prompt_len, output_len, Some(Box::new(callback)))
+        self.submit_streaming(arrival, prompt_len, output_len, Vec::new(), Some(Box::new(callback)))
     }
 
     fn submit_streaming(
@@ -451,6 +477,7 @@ impl Server {
         arrival: f64,
         prompt_len: usize,
         output_len: usize,
+        runs: Vec<TokenRun>,
         callback: Option<TokenCallback>,
     ) -> Result<RequestHandle, AdmitError> {
         assert!(arrival.is_finite(), "arrival time must be finite");
@@ -478,6 +505,7 @@ impl Server {
             arrival,
             prompt_len,
             output_len,
+            runs,
             state: SessionState::Scheduled,
             callback,
             token_times: Vec::new(),
@@ -652,7 +680,13 @@ impl Server {
             session.state = SessionState::Running;
             self.running.insert(id);
             self.engine
-                .submit(Request::new(id, session.arrival, session.prompt_len, session.output_len))
+                .submit(Request::with_runs(
+                    id,
+                    session.arrival,
+                    session.prompt_len,
+                    session.output_len,
+                    session.runs.clone(),
+                ))
                 .expect("submission was validated against capacity and down-state");
         }
     }

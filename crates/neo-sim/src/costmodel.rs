@@ -222,6 +222,11 @@ impl CostModel {
         (self.testbed.cpu_cache_bytes() / self.kv_bytes_per_token() as u64) as usize
     }
 
+    /// Number of tokens the disk (NVMe) KV tier can hold.
+    pub fn disk_kv_capacity_tokens(&self) -> usize {
+        (self.testbed.disk.capacity_bytes / self.kv_bytes_per_token() as u64) as usize
+    }
+
     // ------------------------------------------------------------------
     // Per-layer GPU times
     // ------------------------------------------------------------------
@@ -372,6 +377,32 @@ impl CostModel {
         self.swap_in_time_per_layer(n_tokens) * self.model.n_layers as f64
     }
 
+    /// Time to demote the full-model KV cache of `n_tokens` tokens from host DRAM to
+    /// the disk tier (one sequential write).
+    ///
+    /// Unlike PCIe swaps there is no per-rank split: host-resident KV is the *full*
+    /// (un-sharded) cache and the testbeds have a single NVMe shared by the whole
+    /// tensor-parallel group, so all bytes cross one link. The transfer is a single
+    /// whole-sequence write (demotion is not layer-pipelined), hence one latency term.
+    pub fn disk_write_time_total(&self, n_tokens: usize) -> f64 {
+        if n_tokens == 0 {
+            return 0.0;
+        }
+        let bytes = (n_tokens * self.kv_bytes_per_token()) as f64;
+        bytes / self.testbed.disk.bw_write + self.testbed.disk.latency
+    }
+
+    /// Time to promote the full-model KV cache of `n_tokens` tokens from the disk tier
+    /// back into host DRAM (one sequential read; same single-link model as
+    /// [`CostModel::disk_write_time_total`]).
+    pub fn disk_read_time_total(&self, n_tokens: usize) -> f64 {
+        if n_tokens == 0 {
+            return 0.0;
+        }
+        let bytes = (n_tokens * self.kv_bytes_per_token()) as f64;
+        bytes / self.testbed.disk.bw_read + self.testbed.disk.latency
+    }
+
     // ------------------------------------------------------------------
     // Collectives and non-layer stages
     // ------------------------------------------------------------------
@@ -489,6 +520,30 @@ mod tests {
         for cm in [a10g_8b(), t4_7b()] {
             assert!(cm.cpu_kv_capacity_tokens() > cm.gpu_kv_capacity_tokens());
         }
+    }
+
+    #[test]
+    fn disk_tier_is_the_largest_and_slowest() {
+        for cm in [a10g_8b(), t4_7b(), h100_70b()] {
+            assert!(cm.disk_kv_capacity_tokens() > cm.cpu_kv_capacity_tokens());
+            // Moving the same tokens to disk costs more than PCIe swap-out: the drive
+            // is slower than the link and not layer-pipelined per rank.
+            let n = 1000;
+            assert!(cm.disk_write_time_total(n) > cm.swap_out_time_total(n));
+            // Reads are faster than writes on every modelled drive.
+            assert!(cm.disk_read_time_total(n) < cm.disk_write_time_total(n));
+        }
+    }
+
+    #[test]
+    fn disk_times_scale_with_bytes_not_tp() {
+        // Disk traffic is full KV bytes over one shared drive: tp does not shrink it.
+        let tp1 = CostModel::new(ModelDesc::llama3_70b(), Testbed::hgx_h100(2), 1);
+        let tp2 = h100_70b();
+        assert!((tp1.disk_write_time_total(500) - tp2.disk_write_time_total(500)).abs() < 1e-12);
+        assert!(tp2.swap_out_time_total(500) < tp1.swap_out_time_total(500));
+        assert_eq!(tp1.disk_write_time_total(0), 0.0);
+        assert_eq!(tp1.disk_read_time_total(0), 0.0);
     }
 
     #[test]

@@ -57,6 +57,23 @@ pub struct PcieSpec {
     pub latency: f64,
 }
 
+/// Local NVMe/SSD used as the cold third KV tier (CPU-cache overflow).
+///
+/// Modeled like [`PcieSpec`] with direction-split bandwidth plus a per-transfer latency;
+/// unlike PCIe the drive is shared by the whole tensor-parallel group, so the cost model
+/// charges full (not per-rank) KV bytes against it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Sequential read bandwidth in bytes/s (disk → host, promotion path).
+    pub bw_read: f64,
+    /// Sequential write bandwidth in bytes/s (host → disk, demotion path).
+    pub bw_write: f64,
+    /// Per-transfer latency in seconds (submission + device).
+    pub latency: f64,
+    /// Bytes of the drive budgeted for demoted KV cache.
+    pub capacity_bytes: u64,
+}
+
 /// GPU-to-GPU interconnect used for tensor parallelism (NVLink on the HGX testbed).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InterconnectSpec {
@@ -79,6 +96,8 @@ pub struct Testbed {
     pub cpu: CpuSpec,
     /// PCIe link per GPU.
     pub pcie: PcieSpec,
+    /// Local NVMe used as the cold KV tier.
+    pub disk: DiskSpec,
     /// GPU-GPU interconnect, if more than one GPU.
     pub interconnect: Option<InterconnectSpec>,
     /// Fraction of host DRAM the serving engine may use as CPU KV cache.
@@ -215,6 +234,23 @@ impl PcieSpec {
     }
 }
 
+impl DiskSpec {
+    /// Instance-store NVMe of the AWS `g4dn.4xlarge` (225 GB, PCIe 3.0-era drive).
+    pub fn g4dn_nvme() -> Self {
+        Self { bw_read: 2.2e9, bw_write: 1.1e9, latency: 80e-6, capacity_bytes: 225 * GIB }
+    }
+
+    /// Instance-store NVMe of the AWS `g5.xlarge` family (250 GB, PCIe 4.0-era drive).
+    pub fn g5_nvme() -> Self {
+        Self { bw_read: 3.5e9, bw_write: 1.8e9, latency: 60e-6, capacity_bytes: 250 * GIB }
+    }
+
+    /// Datacenter-class NVMe of the HGX H100 host (3.84 TB, PCIe 5.0-era drive).
+    pub fn hgx_nvme() -> Self {
+        Self { bw_read: 7.0e9, bw_write: 4.5e9, latency: 40e-6, capacity_bytes: 3840 * GIB }
+    }
+}
+
 impl InterconnectSpec {
     /// NVLink 4 (H100 SXM): 450 GB/s effective all-reduce bus bandwidth per GPU.
     pub fn nvlink4() -> Self {
@@ -239,6 +275,7 @@ impl Testbed {
             num_gpus: 1,
             cpu: CpuSpec::epyc_7r32_g5(n),
             pcie: PcieSpec::gen4_x16(),
+            disk: DiskSpec::g5_nvme(),
             interconnect: None,
             cpu_cache_fraction: 0.6,
             gpu_mem_utilization: 0.9,
@@ -253,6 +290,7 @@ impl Testbed {
             num_gpus: 1,
             cpu: CpuSpec::xeon_8259cl_g4dn(),
             pcie: PcieSpec::gen3_x16(),
+            disk: DiskSpec::g4dn_nvme(),
             interconnect: None,
             cpu_cache_fraction: 0.6,
             gpu_mem_utilization: 0.9,
@@ -273,6 +311,7 @@ impl Testbed {
             num_gpus,
             cpu: CpuSpec::xeon_8462y_numa_node(),
             pcie: PcieSpec::gen5_x16(),
+            disk: DiskSpec::hgx_nvme(),
             interconnect: if num_gpus > 1 { Some(InterconnectSpec::nvlink4()) } else { None },
             cpu_cache_fraction: 0.5,
             gpu_mem_utilization: 0.9,
@@ -288,6 +327,7 @@ impl Testbed {
             num_gpus: 1,
             cpu: CpuSpec::graviton4(),
             pcie: PcieSpec::gen4_x16(),
+            disk: DiskSpec::g5_nvme(),
             interconnect: None,
             cpu_cache_fraction: 0.6,
             gpu_mem_utilization: 0.9,

@@ -29,11 +29,15 @@
 pub mod arrivals;
 pub mod datasets;
 pub mod lengths;
+pub mod sessions;
 pub mod slo;
 pub mod trace;
 
 pub use arrivals::ArrivalProcess;
 pub use datasets::{azure_code_like, fleet_mix, osc_like, synthetic};
 pub use lengths::LengthDistribution;
+pub use sessions::{
+    agent_loop, multi_turn_chat, AgentConfig, ChatConfig, SessionRequest, SessionTrace,
+};
 pub use slo::SloPolicy;
 pub use trace::{ArrivalEvent, ArrivalEvents, Trace, TraceRequest, TraceStats};

@@ -29,10 +29,19 @@ const T4_REQUESTS: usize = 10;
 const T4_PROMPT: usize = 240;
 const T4_OUTPUT: usize = 12;
 
+/// `NEO_KV_HIERARCHY=on` (the CI `prefix-cache` matrix) turns the shared-prefix cache
+/// on for every engine in this suite. None of these workloads share token runs, so the
+/// cache must be a pure no-op: every bit-identity, replay, and agreement contract below
+/// must hold unchanged — the "on" matrix leg re-proves the hierarchy's transparency.
+fn kv_hierarchy_on() -> bool {
+    std::env::var("NEO_KV_HIERARCHY").map(|v| v == "on" || v == "1").unwrap_or(false)
+}
+
 fn t4_engine(seed: u64) -> Engine {
     let config = EngineConfig {
         overlap_model: OverlapModel::EventOrdered,
         event_tie_break_seed: seed,
+        prefix_cache: kv_hierarchy_on(),
         ..EngineConfig::default()
     };
     Scenario::t4_7b().engine_with_config(Policy::Neo, config)
@@ -116,6 +125,8 @@ fn h100_decision() -> ScheduleDecision {
         swap_out: vec![],
         swap_in: vec![],
         preempt: vec![],
+        demote_disk: vec![],
+        promote_disk: vec![],
     }
 }
 
@@ -167,7 +178,11 @@ fn event_path_agrees_with_closed_form_within_pinned_tolerance() {
         ("h100_70b", Scenario::h100_70b(), 16, 1200),
     ] {
         let run = |model: OverlapModel| {
-            let config = EngineConfig { overlap_model: model, ..EngineConfig::default() };
+            let config = EngineConfig {
+                overlap_model: model,
+                prefix_cache: kv_hierarchy_on(),
+                ..EngineConfig::default()
+            };
             let mut engine = scenario.engine_with_config(Policy::Neo, config);
             for id in 0..n_requests {
                 engine.submit(Request::new(id, 0.0, prompt, 24)).unwrap();
@@ -216,7 +231,11 @@ fn event_path_agrees_with_closed_form_within_pinned_tolerance() {
 #[test]
 fn event_path_serves_the_same_workload_within_tolerance() {
     let run = |model: OverlapModel| {
-        let config = EngineConfig { overlap_model: model, ..EngineConfig::default() };
+        let config = EngineConfig {
+            overlap_model: model,
+            prefix_cache: kv_hierarchy_on(),
+            ..EngineConfig::default()
+        };
         let mut server = Server::new(Scenario::a10g_8b().engine_with_config(Policy::Neo, config));
         for _ in 0..12 {
             server.submit(0.0, 800, 16).unwrap();

@@ -444,3 +444,62 @@ fn ablation_knobs_deserializes_and_keeps_the_reference_row_first() {
         assert!(rows.iter().any(|r| r.ablation == knob), "ablation_knobs must sweep {knob:?}");
     }
 }
+
+#[derive(Debug, Deserialize)]
+struct PrefixCachePoint {
+    policy: String,
+    cache: String,
+    shared_system_prob: f64,
+    request_rate: f64,
+    hit_rate: f64,
+    prefix_hit_tokens: usize,
+    prompt_tokens: usize,
+    cow_splits: usize,
+    mean_ttft: f64,
+    completed: usize,
+}
+
+#[test]
+fn fig_prefix_cache_deserializes_and_ttft_improves_with_hit_rate() {
+    let points: Vec<PrefixCachePoint> =
+        serde_json::from_str(&results_file("fig_prefix_cache.json"))
+            .expect("valid fig_prefix_cache JSON");
+    assert_eq!(points.len(), 10, "5 share levels x cache on/off");
+    assert_registered(points.iter().map(|p| p.policy.clone()), "fig_prefix_cache.json");
+    for p in &points {
+        assert!((0.0..=1.0).contains(&p.shared_system_prob));
+        assert_eq!(p.request_rate, points[0].request_rate, "fixed offered load");
+        // Token conservation: hits never exceed the prompts that could produce them.
+        assert!(p.prefix_hit_tokens <= p.prompt_tokens);
+        assert!(p.hit_rate >= 0.0 && p.hit_rate < 1.0);
+        assert!(p.completed > 0 && p.mean_ttft > 0.0);
+        // The share decision is drawn independently of the swept probability, so the
+        // flattened workload — hence the submitted prompt-token total — is identical
+        // at every point of the sweep.
+        assert_eq!(p.prompt_tokens, points[0].prompt_tokens, "controlled workload");
+    }
+    let on: Vec<&PrefixCachePoint> = points.iter().filter(|p| p.cache == "on").collect();
+    let off: Vec<&PrefixCachePoint> = points.iter().filter(|p| p.cache == "off").collect();
+    assert_eq!(on.len(), 5);
+    assert_eq!(off.len(), 5);
+    // Cache off: no hits, no splits, and every row is one and the same run.
+    for p in &off {
+        assert_eq!(p.hit_rate, 0.0);
+        assert_eq!(p.prefix_hit_tokens, 0);
+        assert_eq!(p.cow_splits, 0);
+        assert_eq!(p.mean_ttft, off[0].mean_ttft, "cache-off rows are identical runs");
+        assert_eq!(p.completed, off[0].completed);
+    }
+    // Cache on: the hit rate grows with the share level (multi-turn reuse gives a
+    // floor even at share 0), and TTFT at the fixed load improves with the hit rate
+    // while always beating the cache-off baseline — the figure's headline.
+    for w in on.windows(2) {
+        assert!(w[1].shared_system_prob > w[0].shared_system_prob, "shares ascend");
+        assert!(w[1].hit_rate > w[0].hit_rate, "hit rate grows with sharing");
+        assert!(w[1].mean_ttft < w[0].mean_ttft, "TTFT improves with the hit rate");
+    }
+    for (p_on, p_off) in on.iter().zip(&off) {
+        assert!(p_on.hit_rate > 0.0, "multi-turn history always reuses something");
+        assert!(p_on.mean_ttft < p_off.mean_ttft, "caching must beat the baseline");
+    }
+}

@@ -57,6 +57,7 @@ impl Fixture {
         match device {
             Device::Gpu => self.gpu_run.push(id),
             Device::Cpu => self.cpu_run.push(id),
+            Device::Disk => unreachable!("tests place requests on GPU or CPU"),
         }
     }
 
@@ -68,8 +69,10 @@ impl Fixture {
             waiting: &self.waiting,
             gpu_run: &self.gpu_run,
             cpu_run: &self.cpu_run,
+            disk_run: &[],
             gpu_free_tokens: self.gpu_free,
             cpu_free_tokens: self.cpu_free,
+            disk_free_tokens: 0,
             gpu_capacity_tokens: self.gpu_free,
             prefill_device: &self.prefill_device,
             admission_backlog: 0,

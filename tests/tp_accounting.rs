@@ -193,6 +193,8 @@ fn estimates_inherit_per_rank_swap_accounting() {
         swap_out: vec![],
         swap_in: vec![],
         preempt: vec![],
+        demote_disk: vec![],
+        promote_disk: vec![],
     };
     // 20k whole-sequence swap-in tokens, deferred (not layer-overlapped): the exposed
     // swap time is exactly L × per-layer swap-in time, i.e. per-rank wall-clock.
