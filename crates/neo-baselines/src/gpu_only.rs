@@ -53,7 +53,7 @@ impl SchedulerPolicy for GpuOnlyScheduler {
         decodes.sort_by(|a, b| {
             let ta = ctx.requests[&a.0].arrival_time;
             let tb = ctx.requests[&b.0].arrival_time;
-            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+            ta.total_cmp(&tb)
         });
         while decodes.len() as i64 > plan.gpu_free && decodes.len() > 1 {
             let (victim, ctx_len) = decodes.pop().expect("non-empty");

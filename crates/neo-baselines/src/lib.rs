@@ -68,6 +68,8 @@
 //! assert!(gpu_only > 0.0 && spec > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod common;
 pub mod fastdecode;
 pub mod gpu_only;

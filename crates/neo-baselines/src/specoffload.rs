@@ -174,7 +174,7 @@ mod tests {
     use neo_core::request::Request;
     use neo_core::Scheduler;
     use neo_sim::{CostModel, ModelDesc, Testbed};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn engine(testbed: Testbed, model: ModelDesc) -> Engine {
         let cost = CostModel::new(model, testbed, 1);
@@ -184,22 +184,22 @@ mod tests {
     /// Hand-built scheduling context for driving the policy directly, so the AIMD
     /// counters stay observable.
     struct Fixture {
-        requests: HashMap<u64, Request>,
+        requests: BTreeMap<u64, Request>,
         waiting: Vec<u64>,
         gpu_run: Vec<u64>,
         cpu_run: Vec<u64>,
-        prefill_device: HashMap<u64, Device>,
+        prefill_device: BTreeMap<u64, Device>,
         config: EngineConfig,
     }
 
     impl Fixture {
         fn new() -> Self {
             Self {
-                requests: HashMap::new(),
+                requests: BTreeMap::new(),
                 waiting: vec![],
                 gpu_run: vec![],
                 cpu_run: vec![],
-                prefill_device: HashMap::new(),
+                prefill_device: BTreeMap::new(),
                 config: EngineConfig::default(),
             }
         }

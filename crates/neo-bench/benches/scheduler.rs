@@ -5,7 +5,7 @@
 //! bench measures one `schedule()` call against queue depth, for NEO and the baselines.
 #![allow(missing_docs)] // criterion_group! generates an undocumented accessor
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use neo_baselines::{
@@ -21,17 +21,17 @@ use neo_sim::{CostModel, ModelDesc, Testbed};
 struct Fixture {
     cost: ProfiledCostModel,
     config: EngineConfig,
-    requests: HashMap<u64, Request>,
+    requests: BTreeMap<u64, Request>,
     waiting: Vec<u64>,
     gpu_run: Vec<u64>,
     cpu_run: Vec<u64>,
-    prefill_device: HashMap<u64, Device>,
+    prefill_device: BTreeMap<u64, Device>,
 }
 
 fn build(n_waiting: usize, n_gpu: usize, n_cpu: usize) -> Fixture {
     let cost =
         ProfiledCostModel::new(CostModel::new(ModelDesc::llama3_8b(), Testbed::g5_xlarge(4), 1));
-    let mut requests = HashMap::new();
+    let mut requests = BTreeMap::new();
     let mut waiting = Vec::new();
     let mut gpu_run = Vec::new();
     let mut cpu_run = Vec::new();
@@ -62,7 +62,7 @@ fn build(n_waiting: usize, n_gpu: usize, n_cpu: usize) -> Fixture {
         waiting,
         gpu_run,
         cpu_run,
-        prefill_device: HashMap::new(),
+        prefill_device: BTreeMap::new(),
     }
 }
 

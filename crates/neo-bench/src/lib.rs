@@ -6,6 +6,8 @@
 //! hardware/model pairings, scheduler construction by policy name, and small table /
 //! JSON output helpers.
 
+#![forbid(unsafe_code)]
+
 use neo_baselines::{
     FastDecodePlusScheduler, GpuOnlyScheduler, PipoScheduler, SimpleOffloadScheduler,
     SpecOffloadScheduler, SymmetricPipelineScheduler,

@@ -394,8 +394,11 @@ impl ClusterState {
             );
             self.apply_faults(at);
             for e in 0..self.slots.len() {
-                while self.slots[e].inflight.front().is_some_and(|&(d, _)| d <= at) {
-                    let (deliver_at, id) = self.slots[e].inflight.pop_front().expect("peeked");
+                while let Some(&(deliver_at, id)) = self.slots[e].inflight.front() {
+                    if deliver_at > at {
+                        break;
+                    }
+                    self.slots[e].inflight.pop_front();
                     self.deliver(e, deliver_at, id);
                 }
             }
@@ -564,11 +567,13 @@ impl ClusterState {
             }
             self.retry_queue.remove(slot);
             self.site[id as usize] = Site::Idle;
+            // `eligible` was checked non-empty above, so min_by_key yields a value;
+            // the unreachable fallback keeps this path panic-free.
             let best = eligible
                 .iter()
                 .copied()
                 .min_by_key(|&e| (self.outstanding(e), e))
-                .expect("non-empty");
+                .unwrap_or(eligible[0]);
             if self.attempts[id as usize] >= 1 {
                 self.retries += 1;
             }

@@ -64,6 +64,8 @@
 //! assert_eq!(report.routes.len(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod discipline;
 pub mod fault;

@@ -11,7 +11,7 @@
 //! comparisons only reflect scheduling differences — mirroring how the paper implements
 //! FastDecode+ on top of NEO's own runtime.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use neo_kvcache::manager::{KvCacheConfig, KvCacheManager};
 use neo_kvcache::{expand, Device, TokenRun};
@@ -77,12 +77,12 @@ pub struct Engine {
     scheduler: Box<dyn Scheduler>,
     kv: KvCacheManager,
     clock: SimClock,
-    requests: HashMap<u64, Request>,
+    requests: BTreeMap<u64, Request>,
     waiting: Vec<u64>,
     gpu_run: Vec<u64>,
     cpu_run: Vec<u64>,
     disk_run: Vec<u64>,
-    prefill_device: HashMap<u64, Device>,
+    prefill_device: BTreeMap<u64, Device>,
     completed: Vec<Request>,
     iterations: u64,
     total_decode_tokens: u64,
@@ -90,6 +90,12 @@ pub struct Engine {
     admission_backlog: usize,
     /// Fail-stopped: every submission is refused until [`Engine::recover`].
     down: bool,
+    /// CPU-resident sequence whose wedged append the engine just freed room for (see
+    /// [`Engine::break_cpu_exact_fit_wedge`]). While set, new CPU-targeted prefill
+    /// allocations are held back so the freed blocks actually reach the stuck append
+    /// instead of being re-taken by the policy's next admission; cleared as soon as the
+    /// sequence appends or leaves the engine.
+    cpu_append_reserved: Option<u64>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -139,18 +145,19 @@ impl Engine {
             scheduler,
             kv,
             clock: SimClock::new(),
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
             waiting: Vec::new(),
             gpu_run: Vec::new(),
             cpu_run: Vec::new(),
             disk_run: Vec::new(),
-            prefill_device: HashMap::new(),
+            prefill_device: BTreeMap::new(),
             completed: Vec::new(),
             iterations: 0,
             total_decode_tokens: 0,
             total_prefill_tokens: 0,
             admission_backlog: 0,
             down: false,
+            cpu_append_reserved: None,
         }
     }
 
@@ -217,7 +224,7 @@ impl Engine {
     /// Requests whose total context exceeds the GPU pool are skipped — adopted blocks
     /// are GPU-resident and such requests may need to live on the CPU.
     fn adopt_prefix_on_submit(&mut self, id: u64) {
-        let req = self.requests.get_mut(&id).expect("just inserted");
+        let Some(req) = self.requests.get_mut(&id) else { return };
         if req.total_tokens() > self.kv.config().gpu_capacity_tokens {
             return;
         }
@@ -227,9 +234,11 @@ impl Engine {
         let runs = req.prompt_runs.clone();
         let max_tokens = req.prompt_len - 1;
         let tokens = expand(&runs);
-        let adoption = self.kv.adopt_prefix(id, &tokens, max_tokens).expect("request id is fresh");
+        // `submit` inserted a fresh id one call above, so adoption cannot fail;
+        // treating a failure as a cache miss keeps this path panic-free.
+        let Ok(adoption) = self.kv.adopt_prefix(id, &tokens, max_tokens) else { return };
         if adoption.cached_tokens > 0 {
-            let req = self.requests.get_mut(&id).expect("just inserted");
+            let Some(req) = self.requests.get_mut(&id) else { return };
             req.advance_prefill(adoption.cached_tokens);
             self.prefill_device.insert(id, Device::Gpu);
         }
@@ -319,6 +328,9 @@ impl Engine {
         self.cpu_run.retain(|&x| x != id);
         self.disk_run.retain(|&x| x != id);
         self.prefill_device.remove(&id);
+        if self.cpu_append_reserved == Some(id) {
+            self.cpu_append_reserved = None;
+        }
     }
 
     /// Number of live (not yet finished) requests.
@@ -446,7 +458,7 @@ impl Engine {
                 continue;
             }
             self.release_execution_state(id);
-            let request = self.requests.get_mut(&id).expect("checked above");
+            let Some(request) = self.requests.get_mut(&id) else { continue };
             request.preempt();
             if !self.waiting.contains(&id) {
                 self.waiting.push(id);
@@ -535,6 +547,14 @@ impl Engine {
         let mut decode_tokens = 0usize;
         for item in &decision.batch0.prefills {
             let allocated = if self.requests[&item.req].prefilled == 0 {
+                // While a wedged CPU append holds a reservation, hold new CPU-targeted
+                // allocations back so the blocks the breaker just freed reach the stuck
+                // sequence instead of this admission (which would re-wedge forever).
+                if item.target == Device::Cpu
+                    && self.cpu_append_reserved.is_some_and(|r| r != item.req)
+                {
+                    continue;
+                }
                 self.prefill_device.insert(item.req, item.target);
                 self.kv.allocate_sequence(item.req, item.new_tokens, item.target).is_ok()
             } else {
@@ -544,7 +564,7 @@ impl Engine {
                 continue; // cache full at block granularity; retried next iteration
             }
             prefill_tokens += item.new_tokens;
-            let request = self.requests.get_mut(&item.req).expect("scheduled request exists");
+            let Some(request) = self.requests.get_mut(&item.req) else { continue };
             request.advance_prefill(item.new_tokens);
             if request.prefill_complete() {
                 // The prefill iteration also emits the first output token.
@@ -562,9 +582,7 @@ impl Engine {
                 self.prefill_device.remove(&item.req);
                 if finished {
                     self.retire(item.req, item.target);
-                } else {
-                    let request =
-                        self.requests.get_mut(&item.req).expect("scheduled request exists");
+                } else if let Some(request) = self.requests.get_mut(&item.req) {
                     match item.target {
                         Device::Gpu => {
                             request.state = RequestState::RunningGpu;
@@ -591,20 +609,53 @@ impl Engine {
             .chain(decision.batch1.cpu_decodes.iter())
             .map(|&(id, _)| id)
             .collect();
+        let mut stuck_cpu: Vec<u64> = Vec::new();
         for id in decode_ids {
             let Some(request) = self.requests.get(&id) else { continue };
             if !request.prefill_complete() || request.is_finished() {
                 continue;
             }
             if self.kv.append_tokens(id, 1).is_err() {
-                continue; // no block available; the request idles this iteration
+                // No block available; the request idles this iteration. Track
+                // CPU-resident failures for the exact-fit wedge breaker below.
+                if matches!(self.kv.device_of(id), Ok(Device::Cpu)) {
+                    stuck_cpu.push(id);
+                }
+                continue;
             }
-            let request = self.requests.get_mut(&id).expect("checked above");
+            if self.cpu_append_reserved == Some(id) {
+                self.cpu_append_reserved = None;
+            }
+            let Some(request) = self.requests.get_mut(&id) else { continue };
             request.advance_decode(end_time);
             decode_tokens += 1;
             if request.is_finished() {
                 let device = self.kv.device_of(id).unwrap_or(Device::Gpu);
                 self.retire(id, device);
+            }
+        }
+
+        // CPU-exact-fit wedge breaker. A CPU-resident context that exactly fills the
+        // host pool cannot append its next block, and with no other progress in the
+        // iteration nothing will ever free host room on its own: the engine livelocks
+        // (ROADMAP, surfaced while pinning the PR-9 golden trace at tiny
+        // `cpu_cache_fraction`). When an iteration moved *nothing* — no prefill or
+        // decode token, no swap, no demotion/promotion, no preemption — and a
+        // CPU-resident decode failed its append, free host room by hand: demote the
+        // stuck sequence to the disk tier when it has room, else preempt the newest
+        // other CPU-resident sequence (it recomputes from the waitqueue). Ordinary
+        // transient append failures never take this path: some other request
+        // progressed, and its retirement eventually frees the pool.
+        let progressed = prefill_tokens > 0
+            || decode_tokens > 0
+            || swapped_out > 0
+            || swapped_in > 0
+            || demoted_disk > 0
+            || promoted_disk > 0
+            || !decision.preempt.is_empty();
+        if !progressed {
+            if let Some(&stuck) = stuck_cpu.first() {
+                self.break_cpu_exact_fit_wedge(stuck);
             }
         }
 
@@ -625,6 +676,31 @@ impl Engine {
             demoted_disk,
             promoted_disk,
             idle: false,
+        }
+    }
+
+    /// Frees host-cache room for a CPU-resident sequence whose append is wedged on an
+    /// exactly-full pool (see the call site in [`Engine::step`]). Prefers demoting the
+    /// stuck sequence itself to the disk tier — it stays resident and decodes again once
+    /// promoted — and falls back to preempting the newest *other* CPU-resident sequence.
+    /// A victim always exists: a sequence holding every host block while needing more
+    /// would have been refused at submit as `NeverAdmissible`.
+    fn break_cpu_exact_fit_wedge(&mut self, stuck: u64) {
+        if self.kv.swap(stuck, Device::Disk).is_ok() {
+            move_id(&mut self.cpu_run, &mut self.disk_run, stuck);
+            return;
+        }
+        let Some(victim) = self.cpu_run.iter().rev().find(|&&v| v != stuck).copied() else {
+            return;
+        };
+        self.release_execution_state(victim);
+        // The freed blocks are spoken for: hold new CPU prefill admissions (including the
+        // victim's own recompute) back until the stuck sequence lands its append.
+        self.cpu_append_reserved = Some(stuck);
+        let Some(request) = self.requests.get_mut(&victim) else { return };
+        request.preempt();
+        if !self.waiting.contains(&victim) {
+            self.waiting.push(victim);
         }
     }
 
@@ -659,6 +735,7 @@ fn move_id(from: &mut Vec<u64>, to: &mut Vec<u64>, id: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::ScheduleDecision;
     use crate::scheduler::NeoScheduler;
     use neo_sim::{ModelDesc, Testbed};
 
@@ -1018,6 +1095,74 @@ mod tests {
         assert!(demoted > 0, "the overflow must reach the disk tier");
         assert!(promoted > 0, "demoted requests must come back to finish decoding");
         assert_eq!(e.disk_resident(), 0);
+        assert_eq!(e.kv().num_sequences(), 0);
+    }
+
+    /// Deliberately wedge-prone scripted policy for the CPU-exact-fit regression test:
+    /// prefills every waiting request straight into the CPU cache and decodes every
+    /// CPU-resident request, with no free-room reservation and no preemption. Any
+    /// single-file policy PR could ship a scheduler like this, so the *engine* must
+    /// survive it.
+    struct CpuGreedyPolicy;
+
+    impl Scheduler for CpuGreedyPolicy {
+        fn schedule(&mut self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
+            let mut d = ScheduleDecision::idle();
+            for &id in ctx.waiting {
+                let new_tokens = ctx.remaining_prefill(id);
+                if new_tokens == 0 {
+                    continue;
+                }
+                d.batch0.prefills.push(crate::batch::PrefillItem {
+                    req: id,
+                    new_tokens,
+                    ctx_after: ctx.context_len(id) + new_tokens,
+                    target: Device::Cpu,
+                });
+            }
+            for &id in ctx.cpu_run {
+                d.batch1.cpu_decodes.push((id, ctx.context_len(id)));
+            }
+            if !d.batch1.is_empty() {
+                d.mode = ExecutionMode::Asymmetric;
+            }
+            d
+        }
+
+        fn name(&self) -> &'static str {
+            "cpu-greedy"
+        }
+    }
+
+    #[test]
+    fn cpu_exact_fit_append_wedge_recovers_without_disk_tier() {
+        // Regression test for the CPU-exact-fit decode wedge (ROADMAP, carried from
+        // PR 9): with the disk tier OFF, a CPU-resident context that lands exactly on
+        // a block boundary with zero free host blocks cannot append, and a scheduler
+        // without its own free-room reservation never frees host room — the engine
+        // used to livelock. At cpu_cache_fraction=0.0005 the T4 host pool holds 4
+        // blocks; two 31-token prompts fill all of them after prefill, and both hit
+        // the failing append at context 33. The wedge breaker in `Engine::step` must
+        // preempt one sequence *and* hold its recompute back (`cpu_append_reserved`)
+        // so the survivor — not the victim's re-prefill — takes the freed blocks.
+        let mut testbed = Testbed::g4dn_4xlarge();
+        testbed.cpu_cache_fraction = 0.0005;
+        let cost = CostModel::new(ModelDesc::llama2_7b(), testbed, 1);
+        assert_eq!(
+            cost.cpu_kv_capacity_tokens() / BLOCK_SIZE,
+            4,
+            "fixture needs an exactly-fillable 4-block host pool"
+        );
+        let mut e = Engine::new(cost, EngineConfig::default(), Box::new(CpuGreedyPolicy));
+        assert_eq!(e.kv().pool(Device::Disk).capacity_tokens(), 0, "disk tier must be off");
+        e.submit(Request::new(0, 0.0, 31, 30)).unwrap();
+        e.submit(Request::new(1, 0.0, 31, 30)).unwrap();
+        let iters = e.run_to_completion(10_000);
+        assert!(iters < 10_000, "engine wedged: {} of 2 finished", e.completed().len());
+        assert_eq!(e.completed().len(), 2);
+        for r in e.completed() {
+            assert_eq!(r.generated, 30);
+        }
         assert_eq!(e.kv().num_sequences(), 0);
     }
 

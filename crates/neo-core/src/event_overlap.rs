@@ -206,6 +206,7 @@ fn build_asymmetric(
         }
     }
     if !layerwise_overlap {
+        // neo-lint: allow(panic-hygiene) -- ModelSpec validation rejects layers == 0; a default node id would silently miswire the job graph
         let last = *prev.first().expect("layers > 0");
         let lf = layers as f64;
         push_link_job(&mut graph, "bulk/d2h".into(), LINK_D2H, lf * out_t, last, &mut d2h);
@@ -251,6 +252,7 @@ fn build_gpu_only(
         }
     }
     if !layerwise_overlap {
+        // neo-lint: allow(panic-hygiene) -- ModelSpec validation rejects layers == 0; a default node id would silently miswire the job graph
         let last = prev.expect("layers > 0");
         let lf = layers as f64;
         push_link_job(&mut graph, "bulk/d2h".into(), LINK_D2H, lf * out_t, last, &mut d2h);

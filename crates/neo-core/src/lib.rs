@@ -49,6 +49,8 @@
 //! assert_eq!(engine.completed().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod admit;
 pub mod batch;
 pub mod config;

@@ -333,7 +333,7 @@ mod tests {
     use crate::config::EngineConfig;
     use crate::request::Request;
     use neo_sim::{CostModel, ModelDesc, Testbed};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// A minimal policy used to exercise the phase driver: admits prefills to the GPU and
     /// decodes whatever runs there.
@@ -364,26 +364,26 @@ mod tests {
     }
 
     struct Fixture {
-        requests: HashMap<u64, Request>,
+        requests: BTreeMap<u64, Request>,
         waiting: Vec<u64>,
         gpu_run: Vec<u64>,
         cpu_run: Vec<u64>,
         disk_run: Vec<u64>,
         disk_free: usize,
-        prefill_device: HashMap<u64, Device>,
+        prefill_device: BTreeMap<u64, Device>,
         config: EngineConfig,
     }
 
     impl Fixture {
         fn new() -> Self {
             Self {
-                requests: HashMap::new(),
+                requests: BTreeMap::new(),
                 waiting: vec![],
                 gpu_run: vec![],
                 cpu_run: vec![],
                 disk_run: vec![],
                 disk_free: 0,
-                prefill_device: HashMap::new(),
+                prefill_device: BTreeMap::new(),
                 config: EngineConfig::default(),
             }
         }

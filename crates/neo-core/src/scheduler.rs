@@ -21,7 +21,7 @@
 //! offload split (steps 4–5) and mode selection (step 6). The blanket impl turns any
 //! policy into a [`Scheduler`], which is the engine-facing object-safe interface.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use neo_kvcache::Device;
 use neo_sim::profiler::IterationCost;
@@ -43,7 +43,7 @@ pub struct ScheduleContext<'a> {
     /// Engine configuration.
     pub config: &'a EngineConfig,
     /// All live requests by id.
-    pub requests: &'a HashMap<u64, Request>,
+    pub requests: &'a BTreeMap<u64, Request>,
     /// Prefill waitqueue (arrival order). Includes partially prefilled requests.
     pub waiting: &'a [u64],
     /// GPU decoding runqueue.
@@ -66,7 +66,7 @@ pub struct ScheduleContext<'a> {
     pub gpu_capacity_tokens: usize,
     /// Device each partially-prefilled request's KV currently resides on (absent for
     /// requests that have not started prefill).
-    pub prefill_device: &'a HashMap<u64, Device>,
+    pub prefill_device: &'a BTreeMap<u64, Device>,
     /// Requests the serving layer has accepted but is holding back because the engine
     /// reported admission backpressure ([`crate::Engine::can_admit`] was `false`).
     /// Advisory load signal: none of the bundled policies act on it yet, but load-aware
@@ -293,11 +293,11 @@ mod tests {
     }
 
     struct Fixture {
-        requests: HashMap<u64, Request>,
+        requests: BTreeMap<u64, Request>,
         waiting: Vec<u64>,
         gpu_run: Vec<u64>,
         cpu_run: Vec<u64>,
-        prefill_device: HashMap<u64, Device>,
+        prefill_device: BTreeMap<u64, Device>,
         gpu_free: usize,
         cpu_free: usize,
         config: EngineConfig,
@@ -306,11 +306,11 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             Self {
-                requests: HashMap::new(),
+                requests: BTreeMap::new(),
                 waiting: vec![],
                 gpu_run: vec![],
                 cpu_run: vec![],
-                prefill_device: HashMap::new(),
+                prefill_device: BTreeMap::new(),
                 gpu_free: 20_000,
                 cpu_free: 200_000,
                 config: EngineConfig::default(),

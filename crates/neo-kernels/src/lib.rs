@@ -66,6 +66,8 @@
 //! assert!(out.iter().all(|x| x.is_finite()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod decode;
 pub mod prefill;
 pub mod reference;

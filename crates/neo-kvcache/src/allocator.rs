@@ -82,7 +82,7 @@ impl BlockAllocator {
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            out.push(self.allocate().expect("free count checked above"));
+            out.push(self.allocate()?);
         }
         Ok(out)
     }

@@ -37,6 +37,8 @@
 //! # Ok::<(), neo_kvcache::error::KvCacheError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod allocator;
 pub mod blocktable;
 pub mod error;

@@ -16,7 +16,7 @@
 //! * a **disk tier** ([`Device::Disk`]): a third pool sequences can be demoted to when
 //!   the CPU cache fills; parked sequences cannot decode until promoted back.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::blocktable::BlockTable;
 use crate::error::KvCacheError;
@@ -97,7 +97,7 @@ pub struct KvCacheManager {
     prefix: Option<PrefixIndex>,
     prefix_hit_tokens: usize,
     cow_splits: usize,
-    seqs: HashMap<u64, SeqEntry>,
+    seqs: BTreeMap<u64, SeqEntry>,
 }
 
 impl KvCacheManager {
@@ -130,7 +130,7 @@ impl KvCacheManager {
             prefix_hit_tokens: 0,
             cow_splits: 0,
             config,
-            seqs: HashMap::new(),
+            seqs: BTreeMap::new(),
         }
     }
 
@@ -250,8 +250,13 @@ impl KvCacheManager {
                 }
             };
             match evicted {
+                // The eviction callback admits only ref_count == 1 blocks, so the
+                // release cannot fail; an error here means the index and the pool
+                // disagree and stopping eviction (returning) is the safe response.
                 Some(block) => {
-                    self.gpu.release_blocks(&[block]).expect("evicted block is singly referenced")
+                    if self.gpu.release_blocks(&[block]).is_err() {
+                        return;
+                    }
                 }
                 None => return,
             }
@@ -298,7 +303,7 @@ impl KvCacheManager {
         }
         let blocks = self.pool_mut(device).allocate_tokens(n_tokens)?;
         let mut table = BlockTable::new(block_size);
-        table.append(n_tokens, blocks).expect("block count from allocate_tokens matches");
+        table.append(n_tokens, blocks)?;
         self.seqs.insert(seq_id, SeqEntry { device, table });
         Ok(())
     }
@@ -317,8 +322,8 @@ impl KvCacheManager {
             self.ensure_gpu_free(needed);
         }
         let blocks = self.pool_mut(device).allocate_blocks(needed)?;
-        let entry = self.seqs.get_mut(&seq_id).expect("checked above");
-        entry.table.append(n_tokens, blocks).expect("block count matches");
+        let entry = self.seqs.get_mut(&seq_id).ok_or(KvCacheError::UnknownSequence(seq_id))?;
+        entry.table.append(n_tokens, blocks)?;
         Ok(())
     }
 
@@ -354,10 +359,10 @@ impl KvCacheManager {
             self.ensure_gpu_free(tokens.div_ceil(self.config.block_size));
         }
         let new_blocks = self.pool_mut(to).allocate_tokens(tokens)?;
-        let entry = self.seqs.get_mut(&seq_id).expect("checked above");
+        let entry = self.seqs.get_mut(&seq_id).ok_or(KvCacheError::UnknownSequence(seq_id))?;
         let from = entry.device;
         let old_blocks = entry.table.take_blocks();
-        entry.table.append(tokens, new_blocks).expect("block count matches");
+        entry.table.append(tokens, new_blocks)?;
         entry.device = to;
         self.pool_mut(from).release_blocks(&old_blocks)?;
         Ok(SwapStats {
@@ -419,12 +424,12 @@ impl KvCacheManager {
         }
         let shared = hit.blocks[..full_take].to_vec();
         for &b in &shared {
-            self.gpu.retain(b).expect("indexed block is allocated");
+            self.gpu.retain(b)?;
         }
         let mut table = BlockTable::new(bs);
-        table.append(full_take * bs, shared).expect("one shared block per full chunk");
+        table.append(full_take * bs, shared)?;
         if partial_len > 0 {
-            table.append(partial_len, cow_blocks).expect("one COW block for the tail");
+            table.append(partial_len, cow_blocks)?;
         }
         self.seqs.insert(seq_id, SeqEntry { device: Device::Gpu, table });
         let splits = usize::from(partial_len > 0);
@@ -452,10 +457,10 @@ impl KvCacheManager {
         let Some(prefix) = self.prefix.as_mut() else { return Ok(()) };
         let outcome = prefix.insert(&tokens[..n], &blocks);
         for &b in &outcome.retained {
-            self.gpu.retain(b).expect("table block is allocated");
+            self.gpu.retain(b)?;
         }
         for &b in &outcome.released {
-            self.gpu.release_blocks(&[b]).expect("pruned block held an index reference");
+            self.gpu.release_blocks(&[b])?;
         }
         Ok(())
     }

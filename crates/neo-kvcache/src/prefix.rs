@@ -131,10 +131,12 @@ impl PrefixIndex {
     }
 
     fn node(&self, idx: usize) -> &Node {
+        // neo-lint: allow(panic-hygiene) -- indices come from the tree's own edges; a dead slot is a structural bug that must fail loudly, not corrupt the radix tree
         self.nodes[idx].as_ref().expect("live node")
     }
 
     fn node_mut(&mut self, idx: usize) -> &mut Node {
+        // neo-lint: allow(panic-hygiene) -- indices come from the tree's own edges; a dead slot is a structural bug that must fail loudly, not corrupt the radix tree
         self.nodes[idx].as_mut().expect("live node")
     }
 
@@ -172,6 +174,7 @@ impl PrefixIndex {
 
     /// Detaches and frees a node, returning its block. The node must be a leaf.
     fn remove_node(&mut self, idx: usize) -> usize {
+        // neo-lint: allow(panic-hygiene) -- indices come from the tree's own edges; a dead slot is a structural bug that must fail loudly, not corrupt the radix tree
         let node = self.nodes[idx].take().expect("live node");
         debug_assert!(node.children.is_empty(), "only leaves are removed");
         match node.parent {

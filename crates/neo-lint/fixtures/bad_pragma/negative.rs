@@ -1,0 +1,7 @@
+//! Docs may quote the grammar: `// neo-lint: allow(<rule>) -- <reason>`.
+
+/// Same in item docs: `neo-lint: allow(panic-hygiene)` is not a pragma here.
+pub fn documented() {}
+
+// A comment that merely mentions neo-lint without the pragma key is fine.
+pub fn mentioned() {}

@@ -1,0 +1,11 @@
+// neo-lint: allow(no-such-rule) -- the rule name must be in the catalog
+pub fn a() {}
+
+// neo-lint: deny(panic-hygiene) -- only allow(...) exists
+pub fn b() {}
+
+// neo-lint: allow(panic-hygiene)
+pub fn c() {}
+
+// neo-lint: allow(panic-hygiene -- reason outside the parens
+pub fn d() {}

@@ -1,0 +1,4 @@
+/// `partial_cmp` may appear in docs; `total_cmp` is the sanctioned spelling.
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

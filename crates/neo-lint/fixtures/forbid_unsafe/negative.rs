@@ -1,0 +1,7 @@
+//! Fixture crate root: carries the mandatory unsafe ban.
+
+#![forbid(unsafe_code)]
+
+pub fn peek(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}

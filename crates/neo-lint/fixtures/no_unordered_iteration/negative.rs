@@ -1,0 +1,18 @@
+use std::collections::BTreeMap;
+
+// neo-lint: allow(no-unordered-iteration) -- fixture: keyed lookups only, never iterated
+use std::collections::HashMap;
+
+/// Docs may say HashMap; only code counts.
+pub fn build() -> BTreeMap<u64, u64> {
+    let _ = "HashMap in a string is fine";
+    BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_map_is_fine_in_tests() {
+        let _ = HashMap::<u64, u64>::new();
+    }
+}

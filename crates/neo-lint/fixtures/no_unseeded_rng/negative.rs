@@ -1,0 +1,8 @@
+use rand::SeedableRng;
+
+/// Seeded construction (`seed_from_u64`) is the only sanctioned RNG source;
+/// `thread_rng` may appear in docs without tripping the rule.
+pub fn roll(seed: u64) -> u64 {
+    let _rng = rand::rngs::StdRng::seed_from_u64(seed);
+    seed
+}

@@ -1,0 +1,20 @@
+pub fn read(xs: &[u64]) -> Option<u64> {
+    // neo-lint: allow(panic-hygiene) -- fixture: slice checked non-empty by the caller
+    let first = xs.first().unwrap();
+    Some(*first)
+}
+
+/// `unwrap()` in docs never fires; `expect_fn()` and `repanic!` have the wrong
+/// identifier boundaries.
+pub fn near_misses(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = [1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

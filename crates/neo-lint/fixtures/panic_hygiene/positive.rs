@@ -1,0 +1,8 @@
+pub fn read(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("two elements");
+    if *first == 0 {
+        panic!("zero");
+    }
+    *second
+}

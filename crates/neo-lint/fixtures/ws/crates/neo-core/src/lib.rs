@@ -1,0 +1,10 @@
+use std::time::Instant;
+use std::collections::HashMap;
+
+pub fn wall() -> Instant {
+    Instant::now()
+}
+
+pub fn map() -> HashMap<u64, u64> {
+    HashMap::new()
+}

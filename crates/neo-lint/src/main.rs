@@ -1,0 +1,95 @@
+//! CLI entry point for the `neo-lint` determinism-hygiene gate.
+//!
+//! Usage: `cargo run -p neo-lint [-- --deny|--warn|--list-rules|--root <dir>]`.
+//! With no flags (or `--deny`, the CI spelling) the process exits non-zero when
+//! any diagnostic fires; `--warn` prints findings but always exits 0.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "neo-lint: workspace determinism-hygiene static analysis\n\
+     \n\
+     USAGE: neo-lint [--deny] [--warn] [--list-rules] [--root <dir>]\n\
+     \n\
+     --deny        exit non-zero on any finding (default)\n\
+     --warn        print findings but exit 0\n\
+     --list-rules  print the rule names and exit\n\
+     --root <dir>  workspace root (default: discovered from the cwd)"
+}
+
+fn main() -> ExitCode {
+    let mut deny = true;
+    let mut root: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--warn" => deny = false,
+            "--list-rules" => {
+                for rule in neo_lint::RULE_NAMES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match argv.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory argument\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match neo_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "error: no workspace root (a dir with Cargo.toml, crates/, shims/) \
+                         above {}; pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match neo_lint::lint_workspace(&root) {
+        Ok((diags, scanned)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("neo-lint: {scanned} files clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("neo-lint: {} finding(s) across {scanned} files", diags.len());
+                if deny {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

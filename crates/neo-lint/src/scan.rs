@@ -1,0 +1,335 @@
+//! The lexical scanner: classifies every byte of a Rust source file as code,
+//! comment, or string-literal content.
+//!
+//! The rule engine in [`crate::rules`] is purely line/substring based, so the
+//! one piece of real lexing the linter needs is knowing *which bytes are code*:
+//! `// a HashMap would be wrong here` must never trip the unordered-iteration
+//! rule, and a raw string containing `".unwrap()"` (this crate's own rule
+//! tables, say) must never trip panic hygiene. The scanner handles line
+//! comments, nested block comments, string literals with escapes, byte
+//! strings, raw (and raw byte) strings with arbitrary `#` fences, character
+//! literals, and the character-literal/lifetime ambiguity (`'a'` vs `<'a>`).
+//!
+//! It is intentionally *not* a full lexer: it never fails, never allocates
+//! tokens, and treats any malformed tail (an unterminated string, a lone
+//! quote) by classifying the remainder conservatively and stopping at
+//! end-of-input. The proptests in `tests/scanner_props.rs` pin the safety
+//! contract: any input scans without panicking, byte counts are preserved,
+//! and newlines survive masking so diagnostics keep their line numbers.
+
+/// Classification of one source byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Executable source text (identifiers, punctuation, whitespace).
+    Code,
+    /// Line (`//`) or block (`/* */`) comment content, delimiters included.
+    Comment,
+    /// String, byte-string, raw-string, or character-literal content,
+    /// delimiters and prefixes included.
+    Str,
+}
+
+/// The scan of one source file.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// Per-byte classification; `classes.len() == source.len()`.
+    pub classes: Vec<Class>,
+    /// The source with every non-code byte (except newlines) blanked to a
+    /// space. One line per source line, so `masked.lines()` aligns with the
+    /// file's physical lines.
+    pub masked: String,
+    /// The source with every non-comment byte (except newlines) blanked. This
+    /// is where pragmas are parsed from.
+    pub comments: String,
+}
+
+/// Scanner state between bytes.
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* */`.
+    BlockComment(u32),
+    /// Inside a `"…"` or `b"…"` literal; `true` when the previous byte was an
+    /// unconsumed backslash.
+    Str {
+        escaped: bool,
+    },
+    /// Inside a raw string with this many `#` fence characters.
+    RawStr {
+        hashes: u32,
+    },
+    /// Inside a `'…'` character literal; `true` when the previous byte was an
+    /// unconsumed backslash.
+    CharLit {
+        escaped: bool,
+    },
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Length of the raw-string prefix (`r`/`br` + `#`* + `"`) starting at `i`,
+/// or `None` if the bytes at `i` do not open a raw string.
+fn raw_prefix_len(bytes: &[u8], i: usize) -> Option<(usize, u32)> {
+    let mut j = i;
+    match bytes.get(j) {
+        Some(b'r') => j += 1,
+        Some(b'b') if bytes.get(j + 1) == Some(&b'r') => j += 2,
+        _ => return None,
+    }
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some((j + 1 - i, hashes))
+}
+
+/// Classifies every byte of `source` and builds the masked code / comment
+/// views. Never panics, whatever the input.
+pub fn scan(source: &str) -> Scan {
+    let bytes = source.as_bytes();
+    let mut classes = vec![Class::Code; bytes.len()];
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    classes[i] = Class::Comment;
+                    state = State::LineComment;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    classes[i] = Class::Comment;
+                    classes[i + 1] = Class::Comment;
+                    state = State::BlockComment(1);
+                    i += 1;
+                } else if b == b'"' {
+                    classes[i] = Class::Str;
+                    state = State::Str { escaped: false };
+                } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                    classes[i] = Class::Str;
+                    // The quote is handled on the next step.
+                } else if (b == b'r' || b == b'b')
+                    && (i == 0 || !is_ident_byte(bytes[i - 1]))
+                    && raw_prefix_len(bytes, i).is_some()
+                {
+                    let (len, hashes) = raw_prefix_len(bytes, i).unwrap_or((1, 0));
+                    for c in classes.iter_mut().skip(i).take(len) {
+                        *c = Class::Str;
+                    }
+                    i += len - 1;
+                    state = State::RawStr { hashes };
+                } else if b == b'\'' {
+                    // Disambiguate character literal from lifetime/label: a
+                    // quote opens a literal when it is escaped (`'\n'`) or when
+                    // a closing quote follows one character (`'a'`, including
+                    // multi-byte chars). Otherwise (`'static`, `'a>`): code.
+                    let next = bytes.get(i + 1).copied();
+                    let is_char = match next {
+                        Some(b'\\') => true,
+                        Some(n) if n != b'\'' => {
+                            // Skip one UTF-8 character, then require a quote.
+                            let step = utf8_len(n);
+                            bytes.get(i + 1 + step) == Some(&b'\'')
+                        }
+                        _ => false,
+                    };
+                    if is_char {
+                        classes[i] = Class::Str;
+                        state = State::CharLit { escaped: false };
+                    }
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                } else {
+                    classes[i] = Class::Comment;
+                }
+            }
+            State::BlockComment(depth) => {
+                classes[i] = Class::Comment;
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    classes[i + 1] = Class::Comment;
+                    i += 1;
+                    state = State::BlockComment(depth + 1);
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    classes[i + 1] = Class::Comment;
+                    i += 1;
+                    state = if depth > 1 { State::BlockComment(depth - 1) } else { State::Code };
+                }
+            }
+            State::Str { escaped } => {
+                classes[i] = Class::Str;
+                if escaped {
+                    state = State::Str { escaped: false };
+                } else if b == b'\\' {
+                    state = State::Str { escaped: true };
+                } else if b == b'"' {
+                    state = State::Code;
+                }
+            }
+            State::RawStr { hashes } => {
+                classes[i] = Class::Str;
+                if b == b'"' {
+                    let h = hashes as usize;
+                    let closes = (0..h).all(|k| bytes.get(i + 1 + k) == Some(&b'#'));
+                    if closes {
+                        for c in classes.iter_mut().skip(i + 1).take(h) {
+                            *c = Class::Str;
+                        }
+                        i += h;
+                        state = State::Code;
+                    }
+                }
+            }
+            State::CharLit { escaped } => {
+                classes[i] = Class::Str;
+                if escaped {
+                    state = State::CharLit { escaped: false };
+                } else if b == b'\\' {
+                    state = State::CharLit { escaped: true };
+                } else if b == b'\'' {
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let mask = |keep: Class| -> String {
+        let mut out = Vec::with_capacity(bytes.len());
+        for (j, &b) in bytes.iter().enumerate() {
+            if b == b'\n' || b == b'\r' || classes[j] == keep {
+                out.push(b);
+            } else {
+                out.push(b' ');
+            }
+        }
+        // Masking replaces whole multi-byte characters (class changes only at
+        // ASCII delimiters), so the buffer stays valid UTF-8; lossy conversion
+        // is a belt-and-braces guarantee, not an expected path.
+        String::from_utf8_lossy(&out).into_owned()
+    };
+    let masked = mask(Class::Code);
+    let comments = mask(Class::Comment);
+    Scan { classes, masked, comments }
+}
+
+/// Byte length of the UTF-8 character starting with `first` (1 for malformed
+/// leading bytes — the scanner only needs a non-zero step, never correctness
+/// on invalid UTF-8, which `&str` rules out anyway).
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        b if b >= 0xC0 => 2,
+        _ => 1,
+    }
+}
+
+/// Whether the identifier `ident` occurs in `line` as a whole word (not as a
+/// substring of a longer identifier). `line` must already be masked code.
+pub fn has_ident(line: &str, ident: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(ident) {
+        let start = from + pos;
+        let end = start + ident.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> String {
+        scan(src).masked
+    }
+
+    #[test]
+    fn line_comments_are_masked() {
+        let src = "let x = 1; // HashMap here\nlet y;";
+        let m = masked(src);
+        assert_eq!(m.len(), src.len());
+        assert!(!m.contains("HashMap"));
+        assert!(m.starts_with("let x = 1; "));
+        assert!(m.ends_with("\nlet y;"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let src = "a /* one /* two */ still */ b";
+        assert_eq!(masked(src), "a                           b");
+    }
+
+    #[test]
+    fn strings_and_escapes_are_masked() {
+        assert_eq!(masked(r#"f("un\"wrap() // x", y)"#), r"f(                 , y)");
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_masked() {
+        let src = "let s = r#\"a \" inside .unwrap()\"# + r\"plain\";";
+        let m = masked(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("plain"));
+        assert!(m.starts_with("let s = "));
+        assert!(m.trim_end().ends_with(';'), "code after the raw strings stays code: {m}");
+        assert_eq!(m.len(), src.len(), "masking must preserve byte counts");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_masked() {
+        let m = masked("let a = b\"panic!\"; let c = br#\"expect(\"#;");
+        assert!(!m.contains("panic"));
+        assert!(!m.contains("expect"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }";
+        let m = masked(src);
+        assert!(m.contains("<'a>"), "lifetimes stay code: {m}");
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains('"'), "quote char literal must not open a string: {m}");
+    }
+
+    #[test]
+    fn identifier_trailing_r_does_not_open_raw_string() {
+        let m = masked("mgr(\"text HashMap\")");
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("mgr("));
+    }
+
+    #[test]
+    fn unterminated_string_masks_to_eof_without_panicking() {
+        let m = masked("let s = \"never closed .unwrap()");
+        assert!(!m.contains("unwrap"));
+    }
+
+    #[test]
+    fn comments_view_keeps_only_comments() {
+        let s = scan("code(); // neo-lint: allow(x) -- y\n\"str\"");
+        assert!(s.comments.contains("neo-lint: allow(x) -- y"));
+        assert!(!s.comments.contains("code"));
+        assert!(!s.comments.contains("str"));
+    }
+
+    #[test]
+    fn has_ident_respects_word_boundaries() {
+        assert!(has_ident("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_ident("type MyHashMapLike = ();", "HashMap"));
+        assert!(has_ident("panic!(\"x\")", "panic"));
+        assert!(!has_ident("should_panic", "panic"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Scanner robustness properties.
+//!
+//! The scanner is the linter's trust root: if it panics or desyncs its views,
+//! the CI gate dies (or lies) on exactly the weird file that most needs
+//! checking. Two properties pin it down: (1) on arbitrary byte soup — lossy
+//! UTF-8, truncated raw strings, unterminated comments, stray quotes — it
+//! never panics and its views stay byte- and line-aligned with the input;
+//! (2) the same holds on every real source file in the workspace, where the
+//! masked view must also be free of comment/string text.
+
+use std::path::Path;
+
+use neo_lint::{lint_file, scan};
+use proptest::collection;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn scanner_never_panics_on_byte_soup(bytes in collection::vec(0u8..255u8, 0usize..512)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let s = scan(&text);
+        prop_assert_eq!(s.classes.len(), text.len());
+        prop_assert_eq!(s.masked.len(), text.len());
+        prop_assert_eq!(s.comments.len(), text.len());
+        prop_assert_eq!(s.masked.lines().count(), text.lines().count());
+        // The full rule engine must survive the soup too (it slices by line).
+        let _ = lint_file("crates/neo-core/src/soup.rs", &text);
+        let _ = lint_file("shims/criterion/src/soup.rs", &text);
+    }
+}
+
+#[test]
+fn scanner_handles_every_workspace_file() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = neo_lint::find_workspace_root(here).expect("workspace root");
+    let files = neo_lint::workspace_sources(&root).expect("walk workspace");
+    assert!(files.len() > 50, "workspace walk looks truncated: {} files", files.len());
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("read source");
+        let s = scan(&src);
+        let at = rel.display();
+        assert_eq!(s.classes.len(), src.len(), "class/byte desync in {at}");
+        assert_eq!(s.masked.len(), src.len(), "masked/byte desync in {at}");
+        assert_eq!(s.comments.len(), src.len(), "comment/byte desync in {at}");
+        assert_eq!(
+            s.masked.lines().count(),
+            src.lines().count(),
+            "masked view dropped or invented lines in {at}"
+        );
+    }
+}

@@ -30,6 +30,8 @@
 //! # Ok::<(), neo_model::ModelError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod linear;
 pub mod model;

@@ -31,7 +31,7 @@ pub fn sample_top_k<R: Rng>(logits: &[f32], k: usize, rng: &mut R) -> u32 {
     let k = k.min(logits.len());
 
     let mut indexed: Vec<(usize, f32)> = logits.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
     indexed.truncate(k);
 
     let max = indexed[0].1;

@@ -35,6 +35,8 @@
 //! assert!(result.token_throughput > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod offline;
 pub mod online;

@@ -12,7 +12,7 @@ impl Cdf {
     /// Builds a CDF from samples (order does not matter).
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|s| s.is_finite());
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        samples.sort_by(|a, b| a.total_cmp(b));
         Self { sorted: samples }
     }
 
@@ -86,11 +86,11 @@ impl LatencySummary {
         }
         Some(Self {
             count: cdf.len(),
-            mean: cdf.mean().expect("non-empty"),
-            p50: cdf.quantile(0.5).expect("non-empty"),
-            p90: cdf.quantile(0.9).expect("non-empty"),
-            p99: cdf.quantile(0.99).expect("non-empty"),
-            max: cdf.quantile(1.0).expect("non-empty"),
+            mean: cdf.mean()?,
+            p50: cdf.quantile(0.5)?,
+            p90: cdf.quantile(0.9)?,
+            p99: cdf.quantile(0.99)?,
+            max: cdf.quantile(1.0)?,
         })
     }
 }

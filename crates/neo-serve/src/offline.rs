@@ -32,6 +32,7 @@ pub struct OfflineResult {
 pub fn run_offline(mut engine: Engine, trace: &Trace, max_iterations: u64) -> OfflineResult {
     assert!(!trace.is_empty(), "cannot run an empty trace");
     for (i, r) in trace.requests().iter().enumerate() {
+        // neo-lint: allow(panic-hygiene) -- driver entry point documented to panic (see `# Panics`); an inadmissible trace request is a configuration error
         engine.submit(Request::new(i as u64, 0.0, r.prompt_len, r.output_len)).unwrap();
     }
     let total = trace.len();

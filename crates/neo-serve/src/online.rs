@@ -72,6 +72,7 @@ pub fn run_online(
     let total = trace.len();
     let mut server = Server::new(engine).with_max_iterations(max_iterations);
     for event in trace.events() {
+        // neo-lint: allow(panic-hygiene) -- driver entry point documented to panic (see `# Panics`); an inadmissible trace request is a configuration error
         server.submit(event.time, event.prompt_len, event.output_len).unwrap();
     }
     drain_and_summarise(&mut server, total, request_rate)
@@ -120,6 +121,7 @@ pub fn run_sessions(
     let prompt_tokens = trace.requests().iter().map(|r| r.prompt_len()).sum();
     let mut server = Server::new(engine).with_max_iterations(max_iterations);
     for request in trace.requests() {
+        // neo-lint: allow(panic-hygiene) -- driver entry point documented to panic (see `# Panics`); an inadmissible trace request is a configuration error
         server.submit_with_runs(request.arrival, request.runs.clone(), request.output_len).unwrap();
     }
     let online = drain_and_summarise(&mut server, total, request_rate);
@@ -151,9 +153,12 @@ fn drain_and_summarise(server: &mut Server, total: usize, request_rate: f64) -> 
         avg_per_token_latency: per_token_samples.iter().sum::<f64>()
             / per_token_samples.len().max(1) as f64,
         per_token_latency: LatencySummary::from_samples(&per_token_samples)
+            // neo-lint: allow(panic-hygiene) -- the non-empty-trace assert at entry guarantees at least one completed request with samples
             .expect("at least one request"),
         request_latency: LatencySummary::from_samples(&request_latencies)
+            // neo-lint: allow(panic-hygiene) -- the non-empty-trace assert at entry guarantees at least one completed request with samples
             .expect("at least one request"),
+        // neo-lint: allow(panic-hygiene) -- the non-empty-trace assert at entry guarantees at least one completed request with samples
         ttft: report.ttft.expect("at least one request produced a token"),
         itl: report.itl,
         decode_throughput: decode_tokens as f64 / makespan.max(1e-9),

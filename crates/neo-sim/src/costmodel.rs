@@ -214,6 +214,7 @@ impl CostModel {
         (0..self.tp)
             .map(|r| self.rank_budget(r).kv_capacity_tokens)
             .min()
+            // neo-lint: allow(panic-hygiene) -- CostModel::new validates tp >= 1, so the range is never empty; a default capacity would silently change every schedule
             .expect("tp >= 1, so there is at least one rank")
     }
 
@@ -416,6 +417,7 @@ impl CostModel {
         let ic = self
             .testbed
             .interconnect
+            // neo-lint: allow(panic-hygiene) -- CostModel::new rejects tp > 1 without an interconnect, so this is unreachable; a default bandwidth would silently corrupt the cost model
             .expect("CostModel::new rejects tp > 1 without an interconnect");
         let bytes = (n_tokens * self.model.hidden * self.model.dtype_bytes) as f64;
         let ring_factor = 2.0 * (self.tp as f64 - 1.0) / self.tp as f64;
@@ -459,6 +461,7 @@ impl CostModel {
         let ic = self
             .testbed
             .interconnect
+            // neo-lint: allow(panic-hygiene) -- CostModel::new rejects tp > 1 without an interconnect, so this is unreachable; a default bandwidth would silently corrupt the cost model
             .expect("CostModel::new rejects tp > 1 without an interconnect");
         let bytes = (head_tokens * self.model.vocab * self.model.dtype_bytes) as f64;
         let ring_factor = (self.tp as f64 - 1.0) / self.tp as f64;

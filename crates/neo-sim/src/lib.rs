@@ -64,6 +64,8 @@
 //!
 //! [Jiang et al., MLSys 2025]: https://arxiv.org/abs/2411.01142
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod costmodel;
 pub mod event;

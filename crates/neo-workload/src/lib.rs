@@ -26,6 +26,8 @@
 //! assert!(stats.mean_prompt > stats.mean_output);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arrivals;
 pub mod datasets;
 pub mod lengths;

@@ -41,8 +41,7 @@ pub struct TraceStats {
 impl Trace {
     /// Builds a trace, sorting the requests by arrival time.
     pub fn new(mut requests: Vec<TraceRequest>) -> Self {
-        requests
-            .sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap_or(std::cmp::Ordering::Equal));
+        requests.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         Self { requests }
     }
 

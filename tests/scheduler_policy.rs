@@ -3,7 +3,7 @@
 //! pinned decision traces for the pipelined-offloading baselines on a small
 //! deterministic workload.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use neo_baselines::{
     FastDecodePlusScheduler, GpuOnlyScheduler, PipoScheduler, SimpleOffloadScheduler,
@@ -21,11 +21,11 @@ use proptest::prelude::*;
 
 /// A deterministic, hand-built scheduling context.
 struct Fixture {
-    requests: HashMap<u64, Request>,
+    requests: BTreeMap<u64, Request>,
     waiting: Vec<u64>,
     gpu_run: Vec<u64>,
     cpu_run: Vec<u64>,
-    prefill_device: HashMap<u64, Device>,
+    prefill_device: BTreeMap<u64, Device>,
     gpu_free: usize,
     cpu_free: usize,
     config: EngineConfig,
@@ -34,11 +34,11 @@ struct Fixture {
 impl Fixture {
     fn new(gpu_free: usize, cpu_free: usize) -> Self {
         Self {
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
             waiting: vec![],
             gpu_run: vec![],
             cpu_run: vec![],
-            prefill_device: HashMap::new(),
+            prefill_device: BTreeMap::new(),
             gpu_free,
             cpu_free,
             config: EngineConfig::default(),

@@ -31,3 +31,17 @@ fn public_surface_resolves() {
     let _mode = ExecutionMode::GpuOnly;
     let _device = Device::Gpu;
 }
+
+/// The determinism-hygiene gate must stay wired into CI: a `lint` job that
+/// runs `neo-lint` in deny mode. Removing or renaming the job (say, in a CI
+/// refactor) would silently drop the static half of the determinism contract.
+#[test]
+fn ci_runs_the_lint_job() {
+    let ci = concat!(env!("CARGO_MANIFEST_DIR"), "/../../.github/workflows/ci.yml");
+    let yaml = std::fs::read_to_string(ci).expect("read .github/workflows/ci.yml");
+    assert!(yaml.contains("\n  lint:"), "ci.yml must define a `lint` job");
+    assert!(
+        yaml.contains("cargo run -p neo-lint -- --deny"),
+        "the lint job must run neo-lint in deny mode"
+    );
+}
